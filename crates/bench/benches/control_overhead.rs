@@ -1,0 +1,61 @@
+//! Figure 18 under criterion: the real-CPU cost of the control layer.
+//!
+//! Benchmarks the same write-through instance with the control layer
+//! enabled (action event evaluated on every PUT, placement decided by the
+//! policy) and disabled (requests go straight to the default tier). The
+//! difference is the per-request overhead the paper bounds at 2 % of the
+//! (storage-dominated) request latency.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tiera_core::prelude::*;
+use tiera_sim::SimEnv;
+use tiera_tiers::MemoryTier;
+
+const MB: u64 = 1024 * 1024;
+
+fn build(control_layer: bool) -> Arc<Instance> {
+    let env = SimEnv::new(42);
+    let instance = InstanceBuilder::new("overhead", env.clone())
+        .tier(Arc::new(MemoryTier::same_az("t1", 512 * MB, &env)))
+        .tier(Arc::new(MemoryTier::cross_az("t2", 512 * MB, &env)))
+        .rule(
+            Rule::on(EventKind::action(ActionOp::Put))
+                .respond(ResponseSpec::store(Selector::Inserted, ["t1", "t2"])),
+        )
+        .build()
+        .unwrap();
+    instance.set_control_layer(control_layer);
+    instance
+}
+
+fn bench_control_overhead(c: &mut Criterion) {
+    let data = bytes::Bytes::from(vec![0u8; 4096]);
+    let mut group = c.benchmark_group("control_layer");
+    for (label, enabled) in [("without", false), ("with", true)] {
+        let instance = build(enabled);
+        let mut i = 0u64;
+        group.bench_function(format!("put/{label}"), |b| {
+            b.iter(|| {
+                i += 1;
+                instance
+                    .put(format!("k{}", i % 4096).as_str(), data.clone(), SimTime::ZERO)
+                    .unwrap()
+            })
+        });
+        instance.put("hot", data.clone(), SimTime::ZERO).unwrap();
+        group.bench_function(format!("get/{label}"), |b| {
+            b.iter(|| instance.get("hot", SimTime::ZERO).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_control_overhead
+}
+criterion_main!(benches);

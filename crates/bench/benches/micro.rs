@@ -1,0 +1,150 @@
+//! Criterion micro-benchmarks: the real-CPU costs of the middleware's
+//! building blocks (the virtual-latency experiments live in the
+//! `experiments` binary; these measure actual compute).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use tiera_core::prelude::*;
+use tiera_sim::{Histogram, SimEnv};
+use tiera_tiers::MemoryTier;
+
+const MB: u64 = 1024 * 1024;
+
+fn bench_tier_ops(c: &mut Criterion) {
+    let env = SimEnv::new(1);
+    let tier = Arc::new(MemoryTier::same_az("mem", 512 * MB, &env));
+    let data = bytes::Bytes::from(vec![0u8; 4096]);
+    let mut group = c.benchmark_group("tier");
+    group.throughput(Throughput::Bytes(4096));
+    let mut i = 0u64;
+    group.bench_function("put_4k", |b| {
+        b.iter(|| {
+            i += 1;
+            let key = ObjectKey::new(format!("k{}", i % 10_000));
+            tier.put(&key, data.clone(), SimTime::ZERO).unwrap()
+        })
+    });
+    let key = ObjectKey::new("k1");
+    tier.put(&key, data.clone(), SimTime::ZERO).unwrap();
+    group.bench_function("get_4k", |b| {
+        b.iter(|| tier.get(&key, SimTime::ZERO).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_instance_dispatch(c: &mut Criterion) {
+    // The control layer's per-request cost: rule matching + response
+    // execution + metadata bookkeeping (Figure 18's subject).
+    let env = SimEnv::new(2);
+    let instance = InstanceBuilder::new("dispatch", env.clone())
+        .tier(Arc::new(MemoryTier::same_az("t1", 512 * MB, &env)))
+        .tier(Arc::new(MemoryTier::cross_az("t2", 512 * MB, &env)))
+        .rule(
+            Rule::on(EventKind::action(ActionOp::Put))
+                .respond(ResponseSpec::store(Selector::Inserted, ["t1", "t2"])),
+        )
+        .build()
+        .unwrap();
+    let data = bytes::Bytes::from(vec![0u8; 4096]);
+    let mut group = c.benchmark_group("instance");
+    let mut i = 0u64;
+    group.bench_function("put_with_policy", |b| {
+        b.iter(|| {
+            i += 1;
+            instance
+                .put(format!("k{}", i % 10_000).as_str(), data.clone(), SimTime::ZERO)
+                .unwrap()
+        })
+    });
+    instance.put("hot", data.clone(), SimTime::ZERO).unwrap();
+    group.bench_function("get", |b| {
+        b.iter(|| instance.get("hot", SimTime::ZERO).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_spec_parse(c: &mut Criterion) {
+    const SPEC: &str = r#"
+Tiera LowLatencyInstance(time t) {
+    tier1: { name: Memcached, size: 5G };
+    tier2: { name: EBS, size: 5G };
+    event(insert.into) : response {
+        insert.object.dirty = true;
+        store(what: insert.object, to: tier1);
+    }
+    event(time=t) : response {
+        copy(what: object.location == tier1 && object.dirty == true,
+             to: tier2);
+    }
+}
+"#;
+    c.bench_function("spec/parse_fig3", |b| {
+        b.iter(|| tiera_spec::parse(SPEC).unwrap())
+    });
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let data: Vec<u8> = (0..64 * 1024u32).map(|i| (i % 251) as u8).collect();
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha256_64k", |b| {
+        b.iter(|| tiera_codec::sha256::digest(&data))
+    });
+    group.bench_function("crc32_64k", |b| {
+        b.iter(|| tiera_codec::crc32::checksum(&data))
+    });
+    let cipher = tiera_codec::ChaCha20::from_passphrase(b"bench");
+    let nonce = tiera_codec::ChaCha20::nonce_for(b"bench");
+    group.bench_function("chacha20_64k", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut buf| cipher.apply(&nonce, &mut buf),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("lzss_compress_64k", |b| {
+        b.iter(|| tiera_codec::lzss::compress(&data))
+    });
+    let compressed = tiera_codec::lzss::compress(&data);
+    group.bench_function("lzss_decompress_64k", |b| {
+        b.iter(|| tiera_codec::lzss::decompress(&compressed).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_metastore(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("tiera-bench-meta-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = tiera_metastore::MetaStore::open(&dir).unwrap();
+    let mut i = 0u64;
+    c.bench_function("metastore/put", |b| {
+        b.iter(|| {
+            i += 1;
+            store
+                .put(format!("key-{}", i % 100_000).as_bytes(), &[0u8; 64])
+                .unwrap()
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut h = Histogram::new();
+    let mut i = 0u64;
+    c.bench_function("histogram/record", |b| {
+        b.iter(|| {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(SimDuration::from_nanos(i % 50_000_000));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tier_ops, bench_instance_dispatch, bench_spec_parse,
+              bench_codecs, bench_metastore, bench_histogram
+}
+criterion_main!(benches);

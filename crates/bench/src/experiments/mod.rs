@@ -1,0 +1,107 @@
+//! One module per paper table/figure; see `DESIGN.md` §4 for the index.
+
+pub mod ablations;
+pub mod fig07_08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod figs_3_to_6;
+pub mod table1;
+
+/// An experiment that can be run from the `experiments` binary.
+pub struct Experiment {
+    /// Short id (`fig07`, `table1`, ...).
+    pub id: &'static str,
+    /// What the paper's figure/table shows.
+    pub title: &'static str,
+    /// Runs the experiment, printing paper-style output.
+    pub run: fn(),
+}
+
+/// Every experiment, in paper order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "table1",
+            title: "Table 1: the response catalogue, demonstrated",
+            run: table1::run,
+        },
+        Experiment {
+            id: "figs3-6",
+            title: "Figures 3-6: the paper's instance specifications, parsed & compiled",
+            run: figs_3_to_6::run,
+        },
+        Experiment {
+            id: "fig07",
+            title: "Figure 7: MySQL read-only TPS & p95 latency vs hot-data % (8 threads)",
+            run: fig07_08::run_read_only,
+        },
+        Experiment {
+            id: "fig08",
+            title: "Figure 8: MySQL read-write TPS & p95 latency vs hot-data % (8 threads)",
+            run: fig07_08::run_read_write,
+        },
+        Experiment {
+            id: "fig09",
+            title: "Figure 9: MemcachedS3 cost optimization (TPS log-scale + $/month)",
+            run: fig09::run,
+        },
+        Experiment {
+            id: "fig10",
+            title: "Figure 10: TPC-W bookstore WIPS vs emulated browsers",
+            run: fig10::run,
+        },
+        Experiment {
+            id: "fig11",
+            title: "Table 2 / Figure 11: performance-cost tradeoff across TI:1-3",
+            run: fig11::run,
+        },
+        Experiment {
+            id: "fig12",
+            title: "Figure 12: storeOnce dedup — read latency & S3 requests vs duplicate %",
+            run: fig12::run,
+        },
+        Experiment {
+            id: "fig13",
+            title: "Table 3 / Figure 13: durability tradeoff (latency + cost)",
+            run: fig13::run,
+        },
+        Experiment {
+            id: "fig14",
+            title: "Figure 14: throttling background replication (bandwidth cap)",
+            run: fig14::run,
+        },
+        Experiment {
+            id: "fig15",
+            title: "Figure 15: write latency vs write-back interval",
+            run: fig15::run,
+        },
+        Experiment {
+            id: "fig16",
+            title: "Figure 16: GrowingInstance capacity & read-latency timeline",
+            run: fig16::run,
+        },
+        Experiment {
+            id: "fig17",
+            title: "Figure 17: EBS outage, detection, reconfiguration, recovery",
+            run: fig17::run,
+        },
+        Experiment {
+            id: "fig18",
+            title: "Figure 18: control-layer overhead vs event rate",
+            run: fig18::run,
+        },
+        Experiment {
+            id: "ablations",
+            title: "Ablations: eviction order, cache sizing, placement, dedup",
+            run: ablations::run,
+        },
+    ]
+}

@@ -1,0 +1,28 @@
+//! # tiera-bench — the paper's evaluation, regenerated
+//!
+//! One experiment module per table/figure of *Tiera: Towards Flexible
+//! Multi-Tiered Cloud Storage Instances* (Middleware 2014), §4. Run them
+//! all with:
+//!
+//! ```text
+//! cargo run --release -p tiera-bench --bin experiments -- --all
+//! ```
+//!
+//! or a subset with `--only fig07,fig09`. Each experiment prints the same
+//! rows/series the paper's figure plots, using virtual time (a "10-minute"
+//! run completes in seconds of wall time and is deterministic for the
+//! seed). `EXPERIMENTS.md` records the measured outputs next to the
+//! paper's numbers.
+//!
+//! The criterion micro-benchmarks (`benches/`) cover the real-CPU costs:
+//! control-layer dispatch overhead (Figure 18's x-axis is event rate, and
+//! the overhead itself is compute), codec throughput, spec parsing,
+//! metastore appends, and histogram recording.
+
+#![forbid(unsafe_code)]
+
+pub mod deployments;
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

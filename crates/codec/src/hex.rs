@@ -1,0 +1,56 @@
+//! Hexadecimal encoding/decoding.
+
+/// Encodes bytes as lowercase hex.
+pub fn encode(data: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0xF) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string; returns `None` on odd length or invalid digits.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_known() {
+        assert_eq!(encode(&[0x00, 0xff, 0x10]), "00ff10");
+        assert_eq!(encode(&[]), "");
+    }
+
+    #[test]
+    fn decode_known() {
+        assert_eq!(decode("00ff10"), Some(vec![0x00, 0xff, 0x10]));
+        assert_eq!(decode("DEADbeef"), Some(vec![0xde, 0xad, 0xbe, 0xef]));
+    }
+
+    #[test]
+    fn decode_rejects_bad_input() {
+        assert_eq!(decode("abc"), None, "odd length");
+        assert_eq!(decode("zz"), None, "non-hex digit");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+}

@@ -1,0 +1,297 @@
+//! LZSS compression.
+//!
+//! Stand-in for the ZLIB library the Tiera prototype used for its
+//! `compress`/`uncompress` responses (paper Table 1). A classic LZSS with a
+//! 4 KiB sliding window and 3..=66 byte matches, hash-chained for speed.
+//!
+//! ## Format
+//!
+//! The stream is a sequence of groups. Each group starts with a flag byte:
+//! bit *i* (LSB first) describes token *i* of the group — `0` = literal
+//! byte, `1` = match. A match token is a `u16` little-endian
+//! `(len_code << 12) | (dist - 1)` with a 12-bit backward distance; when
+//! `len_code == 15` an extension byte follows carrying additional length,
+//! so matches span 3..=273 bytes. A 4-byte little-endian uncompressed
+//! length header prefixes everything, which also bounds expansion:
+//! incompressible input grows by only `4 + ceil(n/8)` bytes.
+
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 3;
+const LEN_CODE_MAX: usize = 15;
+const MAX_MATCH: usize = MIN_MATCH + LEN_CODE_MAX + 255; // 3..=273
+const HASH_SIZE: usize = 1 << 13;
+
+/// Errors returned by [`decompress`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LzssError {
+    /// Stream ended before the declared length was produced.
+    Truncated,
+    /// A match referenced data before the start of the output.
+    BadDistance,
+    /// Decompressed more data than the header declared.
+    LengthMismatch,
+}
+
+impl std::fmt::Display for LzssError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LzssError::Truncated => write!(f, "compressed stream truncated"),
+            LzssError::BadDistance => write!(f, "match distance out of range"),
+            LzssError::LengthMismatch => write!(f, "decoded length mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for LzssError {}
+
+fn hash3(data: &[u8], i: usize) -> usize {
+    let h = ((data[i] as usize) << 16) ^ ((data[i + 1] as usize) << 8) ^ (data[i + 2] as usize);
+    (h.wrapping_mul(2654435761)) >> (32 - 13) & (HASH_SIZE - 1)
+}
+
+/// Compresses `data`. Always succeeds; worst-case expansion is
+/// `4 + ceil(len/8) + len` bytes total.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    if data.is_empty() {
+        return out;
+    }
+
+    // head[h] = most recent position with hash h; prev[i % WINDOW] = chain.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; WINDOW];
+
+    let mut i = 0usize;
+    let mut flags_pos = out.len();
+    out.push(0);
+    let mut flag_bit = 0u8;
+
+    macro_rules! bump_group {
+        () => {
+            if flag_bit == 8 {
+                flags_pos = out.len();
+                out.push(0);
+                flag_bit = 0;
+            }
+        };
+    }
+
+    while i < data.len() {
+        bump_group!();
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash3(data, i);
+            let mut cand = head[h];
+            let mut tries = 16;
+            while cand != usize::MAX && i - cand <= WINDOW && tries > 0 {
+                if cand < i {
+                    let max_len = MAX_MATCH.min(data.len() - i);
+                    let mut l = 0usize;
+                    while l < max_len && data[cand + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = i - cand;
+                        if l == MAX_MATCH {
+                            break;
+                        }
+                    }
+                }
+                let next = prev[cand % WINDOW];
+                if next == usize::MAX || next >= cand {
+                    break;
+                }
+                cand = next;
+                tries -= 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            // Match token.
+            out[flags_pos] |= 1 << flag_bit;
+            let len_code = (best_len - MIN_MATCH).min(LEN_CODE_MAX);
+            let token = ((len_code as u16) << 12) | ((best_dist - 1) as u16);
+            out.extend_from_slice(&token.to_le_bytes());
+            if len_code == LEN_CODE_MAX {
+                out.push((best_len - MIN_MATCH - LEN_CODE_MAX) as u8);
+            }
+            // Insert hash entries for every covered position.
+            let end = i + best_len;
+            while i < end && i + MIN_MATCH <= data.len() {
+                let h = hash3(data, i);
+                prev[i % WINDOW] = head[h];
+                head[h] = i;
+                i += 1;
+            }
+            i = end;
+        } else {
+            // Literal.
+            out.push(data[i]);
+            if i + MIN_MATCH <= data.len() {
+                let h = hash3(data, i);
+                prev[i % WINDOW] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+        flag_bit += 1;
+    }
+    out
+}
+
+/// Decompresses a stream produced by [`compress`].
+pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, LzssError> {
+    if stream.len() < 4 {
+        return Err(LzssError::Truncated);
+    }
+    let declared = u32::from_le_bytes([stream[0], stream[1], stream[2], stream[3]]) as usize;
+    let mut out = Vec::with_capacity(declared);
+    let mut pos = 4usize;
+    'outer: while out.len() < declared {
+        if pos >= stream.len() {
+            return Err(LzssError::Truncated);
+        }
+        let flags = stream[pos];
+        pos += 1;
+        for bit in 0..8 {
+            if out.len() == declared {
+                break 'outer;
+            }
+            if flags & (1 << bit) != 0 {
+                if pos + 2 > stream.len() {
+                    return Err(LzssError::Truncated);
+                }
+                let token = u16::from_le_bytes([stream[pos], stream[pos + 1]]);
+                pos += 2;
+                let mut len = ((token >> 12) as usize) + MIN_MATCH;
+                if (token >> 12) as usize == LEN_CODE_MAX {
+                    if pos >= stream.len() {
+                        return Err(LzssError::Truncated);
+                    }
+                    len += stream[pos] as usize;
+                    pos += 1;
+                }
+                let dist = ((token & 0x0FFF) as usize) + 1;
+                if dist > out.len() {
+                    return Err(LzssError::BadDistance);
+                }
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            } else {
+                if pos >= stream.len() {
+                    return Err(LzssError::Truncated);
+                }
+                out.push(stream[pos]);
+                pos += 1;
+            }
+        }
+    }
+    if out.len() != declared {
+        return Err(LzssError::LengthMismatch);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        let c = compress(b"");
+        assert_eq!(c.len(), 4);
+        assert_eq!(decompress(&c).unwrap(), b"");
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        let data = b"the quick brown fox jumps over the lazy dog, the quick brown fox again and again and again";
+        let c = compress(data);
+        assert_eq!(decompress(&c).unwrap(), data);
+        assert!(c.len() < data.len(), "redundant text must shrink: {} vs {}", c.len(), data.len());
+    }
+
+    #[test]
+    fn highly_redundant_compresses_well() {
+        let data = vec![b'A'; 100_000];
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 10, "got {}", c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_bounded_expansion() {
+        // Pseudo-random bytes: no 3-byte matches to speak of.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x & 0xFF) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert!(c.len() <= 4 + data.len() + data.len() / 8 + 1);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match_is_handled() {
+        // "abcabcabc..." forces matches whose source overlaps the output tail.
+        let data: Vec<u8> = b"abc".iter().cycle().take(1000).copied().collect();
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let c = compress(b"hello world hello world hello world");
+        for cut in 0..c.len() - 1 {
+            // Some prefixes decode with a length mismatch, most are Truncated;
+            // none may panic or return Ok with the full declared content.
+            if let Ok(v) = decompress(&c[..cut]) {
+                assert_ne!(v, b"hello world hello world hello world");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_distance_rejected() {
+        // Header says 10 bytes, first token is a match with distance 1 but
+        // output is empty → BadDistance.
+        let mut s = vec![10, 0, 0, 0];
+        s.push(0b0000_0001); // first token is a match
+        s.extend_from_slice(&0u16.to_le_bytes()); // len=3, dist=1
+        assert_eq!(decompress(&s), Err(LzssError::BadDistance));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_roundtrip(data: Vec<u8>) {
+            let c = compress(&data);
+            proptest::prop_assert_eq!(decompress(&c).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_roundtrip_redundant(seed in 0u64..1000, n in 0usize..20_000) {
+            // Structured data: repeated small alphabet with runs.
+            let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut data = Vec::with_capacity(n);
+            while data.len() < n {
+                x ^= x << 7; x ^= x >> 9;
+                let run = (x % 32) as usize + 1;
+                let b = (x >> 8) as u8 & 0x0F;
+                for _ in 0..run.min(n - data.len()) { data.push(b); }
+            }
+            let c = compress(&data);
+            proptest::prop_assert_eq!(decompress(&c).unwrap(), data);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Per-object metadata.
+//!
+//! Paper §2.1: "Tiera tracks the common attributes or metadata for each
+//! object: size, access frequency, dirty flag, location (i.e. which tiers),
+//! and time of last access. In addition, each Tiera object may also be
+//! assigned a set of tags."
+//!
+//! Metadata is encoded with a small hand-rolled binary codec so it can be
+//! persisted in the embedded metadata store (`tiera-metastore`), mirroring
+//! the paper's use of BerkeleyDB.
+
+use std::collections::BTreeSet;
+
+use tiera_codec::Digest;
+use tiera_sim::SimTime;
+
+use crate::object::Tag;
+
+/// Metadata tracked for every object in a Tiera instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectMeta {
+    /// Logical (uncompressed, unencrypted) size in bytes.
+    pub size: u64,
+    /// Stored size in bytes (differs from `size` after compression).
+    pub stored_size: u64,
+    /// Number of accesses (PUT + GET) since creation.
+    pub access_count: u64,
+    /// Whether the object has been modified since it was last copied to a
+    /// persistent tier (drives write-back policies, paper Fig 3).
+    pub dirty: bool,
+    /// Names of the tiers currently holding the object.
+    pub locations: BTreeSet<String>,
+    /// Virtual time of the last access.
+    pub last_access: SimTime,
+    /// Virtual time of creation.
+    pub created: SimTime,
+    /// Tags (object classes) assigned at PUT time.
+    pub tags: BTreeSet<Tag>,
+    /// Content digest, present when the object was stored via `storeOnce`.
+    pub digest: Option<Digest>,
+    /// Whether the stored payload is compressed.
+    pub compressed: bool,
+    /// Whether the stored payload is encrypted.
+    pub encrypted: bool,
+    /// Key-ring identifier of the key the payload is encrypted with.
+    pub encryption_key_id: Option<String>,
+}
+
+impl ObjectMeta {
+    /// Fresh metadata for an object of `size` bytes created at `now`.
+    pub fn new(size: u64, now: SimTime) -> Self {
+        Self {
+            size,
+            stored_size: size,
+            access_count: 0,
+            dirty: false,
+            locations: BTreeSet::new(),
+            last_access: now,
+            created: now,
+            tags: BTreeSet::new(),
+            digest: None,
+            compressed: false,
+            encrypted: false,
+            encryption_key_id: None,
+        }
+    }
+
+    /// Records an access at `now`.
+    pub fn touch(&mut self, now: SimTime) {
+        self.access_count += 1;
+        self.last_access = now;
+    }
+
+    /// Access frequency in accesses per simulated second since creation.
+    ///
+    /// Used by hot/cold placement policies (paper §2.3: "access frequency
+    /// can be used for easy specification of hot and cold objects").
+    pub fn access_frequency(&self, now: SimTime) -> f64 {
+        let age = now.since(self.created).as_secs_f64().max(1e-9);
+        self.access_count as f64 / age
+    }
+
+    /// Whether the object carries `tag`.
+    pub fn has_tag(&self, tag: &Tag) -> bool {
+        self.tags.contains(tag)
+    }
+
+    /// Whether the object is stored in `tier`.
+    pub fn in_tier(&self, tier: &str) -> bool {
+        self.locations.contains(tier)
+    }
+
+    // ---- binary codec (persisted via tiera-metastore) ----
+
+    /// Encodes the metadata to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&self.size.to_le_bytes());
+        out.extend_from_slice(&self.stored_size.to_le_bytes());
+        out.extend_from_slice(&self.access_count.to_le_bytes());
+        out.extend_from_slice(&self.last_access.as_nanos().to_le_bytes());
+        out.extend_from_slice(&self.created.as_nanos().to_le_bytes());
+        let flags = (self.dirty as u8)
+            | (self.compressed as u8) << 1
+            | (self.encrypted as u8) << 2
+            | ((self.digest.is_some() as u8) << 3);
+        out.push(flags);
+        if let Some(d) = &self.digest {
+            out.extend_from_slice(&d.0);
+        }
+        write_str_set(&mut out, self.locations.iter().map(|s| s.as_str()));
+        write_str_set(&mut out, self.tags.iter().map(|t| t.as_str()));
+        match &self.encryption_key_id {
+            Some(id) => {
+                out.push(1);
+                out.extend_from_slice(&(id.len() as u32).to_le_bytes());
+                out.extend_from_slice(id.as_bytes());
+            }
+            None => out.push(0),
+        }
+        out
+    }
+
+    /// Decodes metadata produced by [`encode`](Self::encode).
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let mut r = Reader { buf, pos: 0 };
+        let size = r.u64()?;
+        let stored_size = r.u64()?;
+        let access_count = r.u64()?;
+        let last_access = SimTime::from_nanos(r.u64()?);
+        let created = SimTime::from_nanos(r.u64()?);
+        let flags = r.u8()?;
+        let digest = if flags & 0b1000 != 0 {
+            let mut d = [0u8; 32];
+            d.copy_from_slice(r.bytes(32)?);
+            Some(Digest(d))
+        } else {
+            None
+        };
+        let locations = r.str_set()?.into_iter().collect();
+        let tags = r.str_set()?.into_iter().map(Tag::new).collect();
+        let encryption_key_id = if r.u8()? == 1 {
+            let len = r.u32()? as usize;
+            Some(String::from_utf8(r.bytes(len)?.to_vec()).ok()?)
+        } else {
+            None
+        };
+        Some(Self {
+            size,
+            stored_size,
+            access_count,
+            dirty: flags & 1 != 0,
+            locations,
+            last_access,
+            created,
+            tags,
+            digest,
+            compressed: flags & 0b10 != 0,
+            encrypted: flags & 0b100 != 0,
+            encryption_key_id,
+        })
+    }
+}
+
+fn write_str_set<'a>(out: &mut Vec<u8>, items: impl ExactSizeIterator<Item = &'a str>) {
+    out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+    for s in items {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let b = self.bytes(4)?;
+        Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let b = self.bytes(8)?;
+        Some(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn str_set(&mut self) -> Option<Vec<String>> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let len = self.u32()? as usize;
+            let s = self.bytes(len)?;
+            out.push(String::from_utf8(s.to_vec()).ok()?);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ObjectMeta {
+        let mut m = ObjectMeta::new(4096, SimTime::from_secs(10));
+        m.touch(SimTime::from_secs(20));
+        m.dirty = true;
+        m.locations.insert("memcached".into());
+        m.locations.insert("ebs".into());
+        m.tags.insert(Tag::new("tmp"));
+        m.digest = Some(Digest::of(b"payload"));
+        m.compressed = true;
+        m.encryption_key_id = Some("default".into());
+        m
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let m = sample();
+        let encoded = m.encode();
+        let decoded = ObjectMeta::decode(&encoded).expect("decodes");
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn codec_roundtrip_minimal() {
+        let m = ObjectMeta::new(0, SimTime::ZERO);
+        assert_eq!(ObjectMeta::decode(&m.encode()), Some(m));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let enc = sample().encode();
+        for cut in 0..enc.len() {
+            // No prefix may decode into the full sample (most return None).
+            if let Some(m) = ObjectMeta::decode(&enc[..cut]) {
+                assert_ne!(m, sample());
+            }
+        }
+    }
+
+    #[test]
+    fn touch_updates_access_stats() {
+        let mut m = ObjectMeta::new(10, SimTime::ZERO);
+        m.touch(SimTime::from_secs(5));
+        m.touch(SimTime::from_secs(10));
+        assert_eq!(m.access_count, 2);
+        assert_eq!(m.last_access, SimTime::from_secs(10));
+        // 2 accesses over 10 s = 0.2/s.
+        assert!((m.access_frequency(SimTime::from_secs(10)) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tag_and_tier_predicates() {
+        let m = sample();
+        assert!(m.has_tag(&Tag::new("tmp")));
+        assert!(!m.has_tag(&Tag::new("other")));
+        assert!(m.in_tier("ebs"));
+        assert!(!m.in_tier("s3"));
+    }
+}

@@ -1,0 +1,582 @@
+//! The metadata registry.
+//!
+//! Owns every object's [`ObjectMeta`], maintains the access-ordered per-tier
+//! indexes that make `tierN.oldest` / `tierN.newest` selections O(log n)
+//! (the Figure 5 LRU/MRU idiom), keeps the content-digest index behind
+//! `storeOnce` deduplication, and — mirroring the paper's BerkeleyDB usage —
+//! optionally persists all metadata through `tiera-metastore`.
+
+use std::collections::{BTreeMap, HashMap};
+
+use parking_lot::RwLock;
+use tiera_codec::Digest;
+use tiera_metastore::MetaStore;
+use tiera_sim::SimTime;
+
+use crate::error::{Result, TieraError};
+use crate::meta::ObjectMeta;
+use crate::object::ObjectKey;
+use crate::selector::Selector;
+
+/// Aggregates maintained per tier for cheap threshold-metric evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierAggregates {
+    /// Objects located in the tier.
+    pub objects: u64,
+    /// Bytes of dirty objects located in the tier.
+    pub dirty_bytes: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<ObjectKey, ObjectMeta>,
+    /// Monotone access sequence; drives LRU/MRU ordering.
+    seq: u64,
+    /// Current sequence number of each key.
+    key_seq: HashMap<ObjectKey, u64>,
+    /// Per-tier access-ordered index: seq → key. First = oldest.
+    tier_order: HashMap<String, BTreeMap<u64, ObjectKey>>,
+    /// Per-tier aggregates.
+    aggregates: HashMap<String, TierAggregates>,
+    /// Content digest → (physical object key, reference count).
+    dedup: HashMap<Digest, (ObjectKey, u64)>,
+}
+
+/// Thread-safe object-metadata registry with optional persistence.
+pub struct Registry {
+    inner: RwLock<Inner>,
+    store: Option<MetaStore>,
+}
+
+impl Registry {
+    /// An in-memory registry (no persistence).
+    pub fn in_memory() -> Self {
+        Self {
+            inner: RwLock::new(Inner::default()),
+            store: None,
+        }
+    }
+
+    /// A registry persisted in `dir`; existing metadata is recovered.
+    pub fn persistent(dir: impl AsRef<std::path::Path>) -> Result<Self> {
+        let store = MetaStore::open(dir).map_err(|e| TieraError::Metadata(e.to_string()))?;
+        let reg = Self {
+            inner: RwLock::new(Inner::default()),
+            store: None,
+        };
+        {
+            let mut inner = reg.inner.write();
+            for (k, v) in store.scan_prefix(b"") {
+                let Ok(key_str) = String::from_utf8(k) else {
+                    continue;
+                };
+                if let Some(meta) = ObjectMeta::decode(&v) {
+                    let key = ObjectKey::new(key_str);
+                    Inner::index_insert(&mut inner, &key, &meta);
+                    inner.map.insert(key, meta);
+                }
+            }
+        }
+        Ok(Self {
+            store: Some(store),
+            ..reg
+        })
+    }
+
+    fn persist(&self, key: &ObjectKey, meta: Option<&ObjectMeta>) {
+        if let Some(store) = &self.store {
+            let r = match meta {
+                Some(m) => store.put(key.as_str().as_bytes(), &m.encode()),
+                None => store.delete(key.as_str().as_bytes()).map(|_| ()),
+            };
+            // Metadata persistence failures must not fail client IO; they
+            // surface through sync() at the durability boundary.
+            let _ = r;
+        }
+    }
+
+    /// Flushes persisted metadata to disk.
+    pub fn sync(&self) -> Result<()> {
+        if let Some(store) = &self.store {
+            store
+                .sync()
+                .map_err(|e| TieraError::Metadata(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Number of registered objects.
+    pub fn len(&self) -> usize {
+        self.inner.read().map.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clone of an object's metadata.
+    pub fn get(&self, key: &ObjectKey) -> Option<ObjectMeta> {
+        self.inner.read().map.get(key).cloned()
+    }
+
+    /// Whether the object exists.
+    pub fn contains(&self, key: &ObjectKey) -> bool {
+        self.inner.read().map.contains_key(key)
+    }
+
+    /// Inserts or replaces an object's metadata wholesale.
+    pub fn upsert(&self, key: ObjectKey, meta: ObjectMeta) {
+        let mut inner = self.inner.write();
+        if let Some(old) = inner.map.remove(&key) {
+            Inner::index_remove(&mut inner, &key, &old);
+        }
+        Inner::index_insert(&mut inner, &key, &meta);
+        inner.map.insert(key.clone(), meta.clone());
+        drop(inner);
+        self.persist(&key, Some(&meta));
+    }
+
+    /// Applies `f` to an object's metadata (if present), refreshing all
+    /// indexes. Returns the updated metadata.
+    pub fn update<F>(&self, key: &ObjectKey, f: F) -> Option<ObjectMeta>
+    where
+        F: FnOnce(&mut ObjectMeta),
+    {
+        let mut inner = self.inner.write();
+        let mut meta = inner.map.get(key)?.clone();
+        Inner::index_remove(&mut inner, key, &meta);
+        f(&mut meta);
+        Inner::index_insert(&mut inner, key, &meta);
+        inner.map.insert(key.clone(), meta.clone());
+        drop(inner);
+        self.persist(key, Some(&meta));
+        Some(meta)
+    }
+
+    /// Records an access (touch) at `now`, refreshing LRU ordering.
+    pub fn touch(&self, key: &ObjectKey, now: SimTime) -> Option<ObjectMeta> {
+        self.update(key, |m| m.touch(now))
+    }
+
+    /// Removes an object entirely.
+    pub fn remove(&self, key: &ObjectKey) -> Option<ObjectMeta> {
+        let mut inner = self.inner.write();
+        let meta = inner.map.remove(key)?;
+        Inner::index_remove(&mut inner, key, &meta);
+        inner.key_seq.remove(key);
+        drop(inner);
+        self.persist(key, None);
+        Some(meta)
+    }
+
+    /// Aggregates for a tier (zeros if the tier holds nothing).
+    pub fn aggregates(&self, tier: &str) -> TierAggregates {
+        self.inner
+            .read()
+            .aggregates
+            .get(tier)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// The least recently accessed object in `tier`.
+    pub fn oldest_in(&self, tier: &str) -> Option<ObjectKey> {
+        let inner = self.inner.read();
+        inner
+            .tier_order
+            .get(tier)
+            .and_then(|m| m.values().next().cloned())
+    }
+
+    /// The most recently accessed object in `tier`.
+    pub fn newest_in(&self, tier: &str) -> Option<ObjectKey> {
+        let inner = self.inner.read();
+        inner
+            .tier_order
+            .get(tier)
+            .and_then(|m| m.values().next_back().cloned())
+    }
+
+    /// Every key currently located in `tier`, oldest first.
+    pub fn keys_in(&self, tier: &str) -> Vec<ObjectKey> {
+        let inner = self.inner.read();
+        inner
+            .tier_order
+            .get(tier)
+            .map(|m| m.values().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Evaluates a selector to a concrete key set.
+    ///
+    /// `inserted` supplies the meaning of [`Selector::Inserted`] in action
+    /// contexts.
+    pub fn select(
+        &self,
+        selector: &Selector,
+        inserted: Option<&ObjectKey>,
+        now: SimTime,
+    ) -> Vec<ObjectKey> {
+        match selector {
+            Selector::Inserted => inserted.cloned().into_iter().collect(),
+            Selector::Key(k) => {
+                if self.contains(k) {
+                    vec![k.clone()]
+                } else {
+                    Vec::new()
+                }
+            }
+            Selector::All => self.inner.read().map.keys().cloned().collect(),
+            Selector::InTier(t) => self.keys_in(t),
+            Selector::Dirty => {
+                let inner = self.inner.read();
+                inner
+                    .map
+                    .iter()
+                    .filter(|(_, m)| m.dirty)
+                    .map(|(k, _)| k.clone())
+                    .collect()
+            }
+            Selector::Tagged(tag) => {
+                let inner = self.inner.read();
+                inner
+                    .map
+                    .iter()
+                    .filter(|(_, m)| m.has_tag(tag))
+                    .map(|(k, _)| k.clone())
+                    .collect()
+            }
+            Selector::OldestIn(t) => self.oldest_in(t).into_iter().collect(),
+            Selector::NewestIn(t) => self.newest_in(t).into_iter().collect(),
+            Selector::HotterThan(bound) => {
+                let inner = self.inner.read();
+                inner
+                    .map
+                    .iter()
+                    .filter(|(_, m)| m.access_frequency(now) >= *bound)
+                    .map(|(k, _)| k.clone())
+                    .collect()
+            }
+            Selector::ColderThan(bound) => {
+                let inner = self.inner.read();
+                inner
+                    .map
+                    .iter()
+                    .filter(|(_, m)| m.access_frequency(now) < *bound)
+                    .map(|(k, _)| k.clone())
+                    .collect()
+            }
+            Selector::And(a, b) => {
+                // Evaluate the narrower side as a key set and the other as
+                // a per-key predicate; this keeps hot-path conjunctions
+                // like `Inserted && !Tagged(..)` O(1) instead of scanning
+                // the registry.
+                let (small, pred) = if Self::is_narrow(a) || !Self::is_narrow(b) {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                self.select(small, inserted, now)
+                    .into_iter()
+                    .filter(|k| self.matches(pred, k, inserted, now))
+                    .collect()
+            }
+            Selector::Not(inner) => {
+                let excluded: std::collections::HashSet<ObjectKey> =
+                    self.select(inner, inserted, now).into_iter().collect();
+                let base = self.select(&Selector::All, inserted, now);
+                base.into_iter().filter(|k| !excluded.contains(k)).collect()
+            }
+        }
+    }
+
+    /// Whether a selector resolves to at most a handful of keys.
+    fn is_narrow(sel: &Selector) -> bool {
+        match sel {
+            Selector::Inserted
+            | Selector::Key(_)
+            | Selector::OldestIn(_)
+            | Selector::NewestIn(_) => true,
+            Selector::And(a, b) => Self::is_narrow(a) || Self::is_narrow(b),
+            _ => false,
+        }
+    }
+
+    /// Predicate form of selector evaluation for a single key.
+    pub fn matches(
+        &self,
+        selector: &Selector,
+        key: &ObjectKey,
+        inserted: Option<&ObjectKey>,
+        now: SimTime,
+    ) -> bool {
+        match selector {
+            Selector::Inserted => inserted == Some(key),
+            Selector::Key(k) => k == key,
+            Selector::All => self.contains(key),
+            Selector::InTier(t) => self.get(key).map(|m| m.in_tier(t)).unwrap_or(false),
+            Selector::Dirty => self.get(key).map(|m| m.dirty).unwrap_or(false),
+            Selector::Tagged(tag) => self.get(key).map(|m| m.has_tag(tag)).unwrap_or(false),
+            Selector::OldestIn(t) => self.oldest_in(t).as_ref() == Some(key),
+            Selector::NewestIn(t) => self.newest_in(t).as_ref() == Some(key),
+            Selector::HotterThan(b) => self
+                .get(key)
+                .map(|m| m.access_frequency(now) >= *b)
+                .unwrap_or(false),
+            Selector::ColderThan(b) => self
+                .get(key)
+                .map(|m| m.access_frequency(now) < *b)
+                .unwrap_or(false),
+            Selector::And(a, b) => {
+                self.matches(a, key, inserted, now) && self.matches(b, key, inserted, now)
+            }
+            Selector::Not(inner) => !self.matches(inner, key, inserted, now),
+        }
+    }
+
+    // ---- dedup index (storeOnce) ----
+
+    /// Registers content under `digest`. If the digest is new, `physical`
+    /// becomes its physical key and `None` is returned; otherwise the
+    /// existing physical key is returned and its refcount incremented.
+    pub fn dedup_acquire(&self, digest: Digest, physical: ObjectKey) -> Option<ObjectKey> {
+        let mut inner = self.inner.write();
+        match inner.dedup.get_mut(&digest) {
+            Some((existing, refs)) => {
+                *refs += 1;
+                Some(existing.clone())
+            }
+            None => {
+                inner.dedup.insert(digest, (physical, 1));
+                None
+            }
+        }
+    }
+
+    /// Releases one reference to `digest`; returns the physical key when
+    /// the last reference is dropped (the caller then deletes the bytes).
+    pub fn dedup_release(&self, digest: &Digest) -> Option<ObjectKey> {
+        let mut inner = self.inner.write();
+        if let Some((physical, refs)) = inner.dedup.get_mut(digest) {
+            *refs -= 1;
+            if *refs == 0 {
+                let physical = physical.clone();
+                inner.dedup.remove(digest);
+                return Some(physical);
+            }
+        }
+        None
+    }
+
+    /// Physical key behind `digest`, if registered.
+    pub fn dedup_lookup(&self, digest: &Digest) -> Option<ObjectKey> {
+        self.inner.read().dedup.get(digest).map(|(k, _)| k.clone())
+    }
+}
+
+impl Inner {
+    fn index_insert(inner: &mut Inner, key: &ObjectKey, meta: &ObjectMeta) {
+        inner.seq += 1;
+        let seq = inner.seq;
+        inner.key_seq.insert(key.clone(), seq);
+        for tier in &meta.locations {
+            inner
+                .tier_order
+                .entry(tier.clone())
+                .or_default()
+                .insert(seq, key.clone());
+            let agg = inner.aggregates.entry(tier.clone()).or_default();
+            agg.objects += 1;
+            if meta.dirty {
+                agg.dirty_bytes += meta.stored_size;
+            }
+        }
+    }
+
+    fn index_remove(inner: &mut Inner, key: &ObjectKey, meta: &ObjectMeta) {
+        if let Some(seq) = inner.key_seq.get(key) {
+            for tier in &meta.locations {
+                if let Some(order) = inner.tier_order.get_mut(tier) {
+                    order.remove(seq);
+                }
+                if let Some(agg) = inner.aggregates.get_mut(tier) {
+                    agg.objects = agg.objects.saturating_sub(1);
+                    if meta.dirty {
+                        agg.dirty_bytes = agg.dirty_bytes.saturating_sub(meta.stored_size);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("objects", &self.len())
+            .field("persistent", &self.store.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::Tag;
+
+    fn meta_in(tier: &str, size: u64, now: SimTime) -> ObjectMeta {
+        let mut m = ObjectMeta::new(size, now);
+        m.locations.insert(tier.into());
+        m
+    }
+
+    #[test]
+    fn upsert_get_remove() {
+        let r = Registry::in_memory();
+        let k = ObjectKey::new("a");
+        r.upsert(k.clone(), meta_in("t1", 100, SimTime::ZERO));
+        assert!(r.contains(&k));
+        assert_eq!(r.get(&k).unwrap().size, 100);
+        assert_eq!(r.aggregates("t1").objects, 1);
+        r.remove(&k);
+        assert!(!r.contains(&k));
+        assert_eq!(r.aggregates("t1").objects, 0);
+    }
+
+    #[test]
+    fn lru_order_follows_access() {
+        let r = Registry::in_memory();
+        for name in ["a", "b", "c"] {
+            r.upsert(ObjectKey::new(name), meta_in("t1", 10, SimTime::ZERO));
+        }
+        assert_eq!(r.oldest_in("t1").unwrap().as_str(), "a");
+        assert_eq!(r.newest_in("t1").unwrap().as_str(), "c");
+        // Touching "a" makes it newest.
+        r.touch(&ObjectKey::new("a"), SimTime::from_secs(1));
+        assert_eq!(r.oldest_in("t1").unwrap().as_str(), "b");
+        assert_eq!(r.newest_in("t1").unwrap().as_str(), "a");
+    }
+
+    #[test]
+    fn aggregates_track_dirty_bytes() {
+        let r = Registry::in_memory();
+        let k = ObjectKey::new("a");
+        let mut m = meta_in("t1", 100, SimTime::ZERO);
+        m.dirty = true;
+        r.upsert(k.clone(), m);
+        assert_eq!(r.aggregates("t1").dirty_bytes, 100);
+        r.update(&k, |m| m.dirty = false);
+        assert_eq!(r.aggregates("t1").dirty_bytes, 0);
+    }
+
+    #[test]
+    fn selectors_resolve() {
+        let r = Registry::in_memory();
+        let now = SimTime::ZERO;
+        let mut m1 = meta_in("t1", 10, now);
+        m1.dirty = true;
+        m1.tags.insert(Tag::new("tmp"));
+        r.upsert(ObjectKey::new("a"), m1);
+        r.upsert(ObjectKey::new("b"), meta_in("t2", 10, now));
+
+        assert_eq!(r.select(&Selector::All, None, now).len(), 2);
+        assert_eq!(r.select(&Selector::Dirty, None, now).len(), 1);
+        assert_eq!(
+            r.select(&Selector::Tagged(Tag::new("tmp")), None, now)[0].as_str(),
+            "a"
+        );
+        assert_eq!(r.select(&Selector::InTier("t2".into()), None, now).len(), 1);
+        let conj = Selector::InTier("t1".into()).and(Selector::Dirty);
+        assert_eq!(r.select(&conj, None, now).len(), 1);
+        let conj_empty = Selector::InTier("t2".into()).and(Selector::Dirty);
+        assert!(r.select(&conj_empty, None, now).is_empty());
+        // Inserted resolves through the context argument.
+        let k = ObjectKey::new("a");
+        assert_eq!(r.select(&Selector::Inserted, Some(&k), now), vec![k]);
+        assert!(r.select(&Selector::Inserted, None, now).is_empty());
+    }
+
+    #[test]
+    fn not_selector_complements() {
+        let r = Registry::in_memory();
+        let now = SimTime::ZERO;
+        let mut tagged = meta_in("t1", 1, now);
+        tagged.tags.insert(Tag::new("tmp"));
+        r.upsert(ObjectKey::new("tmp-obj"), tagged);
+        r.upsert(ObjectKey::new("plain"), meta_in("t1", 1, now));
+        let not_tmp = Selector::Tagged(Tag::new("tmp")).negate();
+        let hits = r.select(&not_tmp, None, now);
+        assert_eq!(hits, vec![ObjectKey::new("plain")]);
+        // Inserted && !tagged resolves against the inserted object.
+        let sel = Selector::Inserted.and(Selector::Tagged(Tag::new("tmp")).negate());
+        assert_eq!(
+            r.select(&sel, Some(&ObjectKey::new("plain")), now).len(),
+            1
+        );
+        assert!(r
+            .select(&sel, Some(&ObjectKey::new("tmp-obj")), now)
+            .is_empty());
+    }
+
+    #[test]
+    fn hot_cold_selectors() {
+        let r = Registry::in_memory();
+        let hot = ObjectKey::new("hot");
+        let cold = ObjectKey::new("cold");
+        r.upsert(hot.clone(), meta_in("t1", 10, SimTime::ZERO));
+        r.upsert(cold.clone(), meta_in("t1", 10, SimTime::ZERO));
+        for _ in 0..100 {
+            r.touch(&hot, SimTime::from_secs(10));
+        }
+        r.touch(&cold, SimTime::from_secs(10));
+        let now = SimTime::from_secs(10);
+        let hots = r.select(&Selector::HotterThan(5.0), None, now);
+        assert_eq!(hots, vec![hot]);
+        let colds = r.select(&Selector::ColderThan(5.0), None, now);
+        assert_eq!(colds, vec![cold]);
+    }
+
+    #[test]
+    fn dedup_refcounting() {
+        let r = Registry::in_memory();
+        let d = Digest::of(b"content");
+        let phys = ObjectKey::new("sha256:abc");
+        assert_eq!(r.dedup_acquire(d, phys.clone()), None, "first is new");
+        assert_eq!(
+            r.dedup_acquire(d, ObjectKey::new("ignored")),
+            Some(phys.clone()),
+            "second returns existing physical key"
+        );
+        assert_eq!(r.dedup_release(&d), None, "one ref remains");
+        assert_eq!(r.dedup_release(&d), Some(phys), "last release frees");
+        assert_eq!(r.dedup_lookup(&d), None);
+    }
+
+    #[test]
+    fn persistent_registry_recovers() {
+        let dir = std::env::temp_dir().join(format!("tiera-reg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let r = Registry::persistent(&dir).unwrap();
+            let mut m = meta_in("t1", 42, SimTime::from_secs(3));
+            m.dirty = true;
+            r.upsert(ObjectKey::new("persisted"), m);
+            r.remove(&ObjectKey::new("persisted-then-removed"));
+            r.sync().unwrap();
+        }
+        let r = Registry::persistent(&dir).unwrap();
+        let m = r.get(&ObjectKey::new("persisted")).expect("recovered");
+        assert_eq!(m.size, 42);
+        assert!(m.dirty);
+        assert_eq!(r.aggregates("t1").objects, 1, "indexes rebuilt");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn update_missing_returns_none() {
+        let r = Registry::in_memory();
+        assert!(r.update(&ObjectKey::new("nope"), |m| m.dirty = true).is_none());
+        assert!(r.touch(&ObjectKey::new("nope"), SimTime::ZERO).is_none());
+    }
+}

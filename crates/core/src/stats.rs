@@ -1,0 +1,149 @@
+//! Instance statistics: latency histograms, per-tier hit counters, and
+//! event-dispatch counters (used by the overhead experiment, Figure 18).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use tiera_sim::{Histogram, SimDuration};
+
+/// Snapshot of one histogram's key numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Sample count.
+    pub count: u64,
+    /// Mean latency.
+    pub mean: SimDuration,
+    /// 95th percentile (the paper's headline latency metric).
+    pub p95: SimDuration,
+    /// Maximum observed.
+    pub max: SimDuration,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    reads: Histogram,
+    writes: Histogram,
+    tier_read_hits: HashMap<String, u64>,
+    events_fired: u64,
+    responses_run: u64,
+    background_queued: u64,
+}
+
+/// Thread-safe statistics collected by an instance.
+#[derive(Default)]
+pub struct InstanceStats {
+    inner: Mutex<StatsInner>,
+}
+
+impl InstanceStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a client read and the tier that served it.
+    pub fn record_read(&self, latency: SimDuration, tier: &str) {
+        let mut g = self.inner.lock();
+        g.reads.record(latency);
+        *g.tier_read_hits.entry(tier.to_string()).or_default() += 1;
+    }
+
+    /// Records a client write.
+    pub fn record_write(&self, latency: SimDuration) {
+        self.inner.lock().writes.record(latency);
+    }
+
+    /// Counts an event firing.
+    pub fn record_event(&self) {
+        self.inner.lock().events_fired += 1;
+    }
+
+    /// Counts a response execution.
+    pub fn record_response(&self) {
+        self.inner.lock().responses_run += 1;
+    }
+
+    /// Counts a background enqueue.
+    pub fn record_background(&self) {
+        self.inner.lock().background_queued += 1;
+    }
+
+    /// Read-latency summary.
+    pub fn reads(&self) -> LatencySummary {
+        let g = self.inner.lock();
+        summarize(&g.reads)
+    }
+
+    /// Write-latency summary.
+    pub fn writes(&self) -> LatencySummary {
+        let g = self.inner.lock();
+        summarize(&g.writes)
+    }
+
+    /// Reads served per tier.
+    pub fn tier_read_hits(&self) -> HashMap<String, u64> {
+        self.inner.lock().tier_read_hits.clone()
+    }
+
+    /// `(events fired, responses run, background queued)`.
+    pub fn dispatch_counters(&self) -> (u64, u64, u64) {
+        let g = self.inner.lock();
+        (g.events_fired, g.responses_run, g.background_queued)
+    }
+
+    /// Clears all statistics (between experiment phases).
+    pub fn reset(&self) {
+        let mut g = self.inner.lock();
+        *g = StatsInner::default();
+    }
+}
+
+fn summarize(h: &Histogram) -> LatencySummary {
+    LatencySummary {
+        count: h.count(),
+        mean: h.mean(),
+        p95: h.quantile(0.95),
+        max: h.max(),
+    }
+}
+
+impl std::fmt::Debug for InstanceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstanceStats")
+            .field("reads", &self.reads())
+            .field("writes", &self.writes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_summaries() {
+        let s = InstanceStats::new();
+        for ms in [1u64, 2, 3] {
+            s.record_read(SimDuration::from_millis(ms), "cache");
+        }
+        s.record_write(SimDuration::from_millis(10));
+        let r = s.reads();
+        assert_eq!(r.count, 3);
+        assert_eq!(r.mean, SimDuration::from_millis(2));
+        assert_eq!(s.writes().count, 1);
+        assert_eq!(s.tier_read_hits()["cache"], 3);
+    }
+
+    #[test]
+    fn dispatch_counters_accumulate_and_reset() {
+        let s = InstanceStats::new();
+        s.record_event();
+        s.record_event();
+        s.record_response();
+        s.record_background();
+        assert_eq!(s.dispatch_counters(), (2, 1, 1));
+        s.reset();
+        assert_eq!(s.dispatch_counters(), (0, 0, 0));
+        assert_eq!(s.reads().count, 0);
+    }
+}

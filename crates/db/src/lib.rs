@@ -1,0 +1,35 @@
+//! # tiera-db — "minidb", the evaluation's MySQL stand-in
+//!
+//! The paper's §4.1 case study runs *unmodified MySQL 5.7* over Tiera
+//! through the FUSE layer and drives it with sysbench OLTP. This crate is
+//! the database half of that reproduction: a small page-based transactional
+//! storage engine whose IO behaviour matches what the experiments depend
+//! on:
+//!
+//! * a fixed-width row table stored in 4 KB pages through [`tiera_fs::TieraFs`]
+//!   (so every page miss is a 4 KB object GET against the Tiera instance,
+//!   exactly like MySQL-on-FUSE);
+//! * an LRU **buffer pool** (MySQL's own caches) in front of storage;
+//! * an optional **OS page cache** model in front of the storage path —
+//!   present for the plain "MySQL on EBS" deployment, absent for Tiera
+//!   deployments (FUSE bypasses the kernel cache), which reproduces the
+//!   paper's note that the read-only gain is smaller "due to the caching of
+//!   data in the buffer cache of the EC2 instance";
+//! * a **redo journal** appended on *every* commit — including read-only
+//!   transactions, mirroring "even in a purely read-only transactional
+//!   workload MySQL performs writes to its journal";
+//! * updated pages written through at commit (a simplification of InnoDB
+//!   checkpointing documented in `DESIGN.md`);
+//! * a [`MemoryEngine`] mode modelling the MySQL *Memory* storage engine:
+//!   no transactions, a single table lock serializing every operation —
+//!   which is why the paper measured ≈ 0.15 TPS from it under concurrency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod memory;
+pub mod pool;
+
+pub use engine::{DbConfig, DbError, MiniDb, Op, TxnReceipt};
+pub use memory::MemoryEngine;

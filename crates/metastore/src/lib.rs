@@ -1,0 +1,33 @@
+//! # tiera-metastore — embedded log-structured key-value store
+//!
+//! The Tiera prototype "stored and persisted all object metadata using
+//! BerkeleyDB" (paper §3). This crate is that substrate, built from
+//! scratch: a crash-safe, append-only, log-structured store with an
+//! in-memory index, CRC-framed records, tombstone deletes, log segment
+//! rotation and compaction.
+//!
+//! ## Design
+//!
+//! * All live key/value pairs are held in an in-memory map (object metadata
+//!   is small — the paper's future work is exactly about scaling this
+//!   horizontally).
+//! * Every mutation appends a CRC-framed record to the active log segment;
+//!   durability is delegated to [`MetaStore::sync`] (the Tiera server calls
+//!   it on its persistence schedule).
+//! * On open, segments are replayed in order; a torn tail record (partial
+//!   write from a crash) is detected by CRC/length and truncated away.
+//! * When the log's garbage ratio passes a threshold, [`MetaStore::compact`]
+//!   writes a fresh snapshot segment and removes the old ones.
+//!
+//! The store is also usable as a general embedded KV (the RPC server uses
+//! one for account credentials, mirroring the paper's "location to
+//! persistently store metadata and credentials").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod log;
+mod store;
+
+pub use log::{LogReader, LogWriter, Record, RecordKind};
+pub use store::{MetaStore, MetaStoreError, MetaStoreOptions, Stats};

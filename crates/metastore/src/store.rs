@@ -1,0 +1,570 @@
+//! The metadata store proper: in-memory map + segmented log + compaction.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use crate::log::{LogReader, LogWriter, Record, RecordKind};
+
+/// Errors surfaced by the store.
+#[derive(Debug)]
+pub enum MetaStoreError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The directory contains segment files with unparsable names.
+    BadSegmentName(PathBuf),
+}
+
+impl std::fmt::Display for MetaStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetaStoreError::Io(e) => write!(f, "metastore io error: {e}"),
+            MetaStoreError::BadSegmentName(p) => {
+                write!(f, "unrecognized segment file name: {}", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetaStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MetaStoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for MetaStoreError {
+    fn from(e: io::Error) -> Self {
+        MetaStoreError::Io(e)
+    }
+}
+
+/// Tuning knobs for the store.
+#[derive(Debug, Clone)]
+pub struct MetaStoreOptions {
+    /// Rotate the active segment after this many bytes.
+    pub segment_max_bytes: u64,
+    /// Trigger auto-compaction when dead bytes exceed this fraction of the
+    /// total log (checked on rotation). `1.0` disables auto-compaction.
+    pub compact_garbage_ratio: f64,
+    /// fsync on every append (slow, strongest durability).
+    pub sync_every_append: bool,
+}
+
+impl Default for MetaStoreOptions {
+    fn default() -> Self {
+        Self {
+            segment_max_bytes: 8 * 1024 * 1024,
+            compact_garbage_ratio: 0.5,
+            sync_every_append: false,
+        }
+    }
+}
+
+/// Counters describing the store's state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Live keys.
+    pub live_keys: u64,
+    /// Total bytes across all segments.
+    pub log_bytes: u64,
+    /// Bytes belonging to superseded or deleted records.
+    pub dead_bytes: u64,
+    /// Number of segment files.
+    pub segments: u64,
+    /// Compactions performed since open.
+    pub compactions: u64,
+}
+
+struct Inner {
+    dir: PathBuf,
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+    writer: LogWriter,
+    active_seg: u64,
+    sealed_bytes: u64,
+    dead_bytes: u64,
+    segments: Vec<u64>,
+    compactions: u64,
+    opts: MetaStoreOptions,
+}
+
+/// A crash-safe embedded key-value store for Tiera metadata.
+///
+/// All operations are thread-safe; the store serializes mutations behind a
+/// mutex (metadata records are tiny, so contention is negligible next to
+/// storage-tier latencies).
+pub struct MetaStore {
+    inner: Mutex<Inner>,
+}
+
+fn segment_path(dir: &Path, n: u64) -> PathBuf {
+    dir.join(format!("seg-{n:010}.log"))
+}
+
+fn parse_segment_number(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".log")?;
+    rest.parse().ok()
+}
+
+impl MetaStore {
+    /// Opens (or creates) a store in `dir`, replaying existing segments.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, MetaStoreError> {
+        Self::open_with(dir, MetaStoreOptions::default())
+    }
+
+    /// Opens with explicit options.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        opts: MetaStoreOptions,
+    ) -> Result<Self, MetaStoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut seg_numbers: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().map(|e| e == "log").unwrap_or(false) {
+                let n = parse_segment_number(&path)
+                    .ok_or_else(|| MetaStoreError::BadSegmentName(path.clone()))?;
+                seg_numbers.push(n);
+            }
+        }
+        seg_numbers.sort_unstable();
+
+        let mut map = BTreeMap::new();
+        let mut sealed_bytes = 0u64;
+        let mut dead_bytes = 0u64;
+        let mut last_valid_len = 0u64;
+        for (i, &n) in seg_numbers.iter().enumerate() {
+            let file = File::open(segment_path(&dir, n))?;
+            let mut reader = LogReader::new(file);
+            while let Some(rec) = reader.next_record()? {
+                let rec_len = rec.encoded_len();
+                match rec.kind {
+                    RecordKind::Put => {
+                        if let Some(old) = map.insert(rec.key, rec.value) {
+                            // Prior version of this key is now dead.
+                            dead_bytes += old.len() as u64; // approximation of old record body
+                        }
+                    }
+                    RecordKind::Delete => {
+                        map.remove(&rec.key);
+                        dead_bytes += rec_len;
+                    }
+                }
+            }
+            if i + 1 < seg_numbers.len() {
+                sealed_bytes += reader.valid_len;
+            } else {
+                last_valid_len = reader.valid_len;
+            }
+        }
+
+        let active_seg = seg_numbers.last().copied().unwrap_or(0);
+        if seg_numbers.is_empty() {
+            seg_numbers.push(0);
+        }
+        let active_file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(segment_path(&dir, active_seg))?;
+        let writer = LogWriter::new(active_file, last_valid_len)?;
+
+        Ok(Self {
+            inner: Mutex::new(Inner {
+                dir,
+                map,
+                writer,
+                active_seg,
+                sealed_bytes,
+                dead_bytes,
+                segments: seg_numbers,
+                compactions: 0,
+                opts,
+            }),
+        })
+    }
+
+    /// Inserts or overwrites a key.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), MetaStoreError> {
+        let mut g = self.inner.lock();
+        let rec = Record::put(key, value);
+        g.writer.append(&rec)?;
+        if g.opts.sync_every_append {
+            g.writer.sync()?;
+        }
+        if let Some(old) = g.map.insert(key.to_vec(), value.to_vec()) {
+            g.dead_bytes += 13 + key.len() as u64 + old.len() as u64;
+        }
+        self.maybe_rotate(&mut g)?;
+        Ok(())
+    }
+
+    /// Fetches a key's value.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.inner.lock().map.get(key).cloned()
+    }
+
+    /// Whether the key exists.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.inner.lock().map.contains_key(key)
+    }
+
+    /// Deletes a key; returns whether it existed.
+    pub fn delete(&self, key: &[u8]) -> Result<bool, MetaStoreError> {
+        let mut g = self.inner.lock();
+        let existed = g.map.remove(key).is_some();
+        if existed {
+            let rec = Record::delete(key);
+            let rec_len = rec.encoded_len();
+            g.writer.append(&rec)?;
+            if g.opts.sync_every_append {
+                g.writer.sync()?;
+            }
+            g.dead_bytes += rec_len;
+            self.maybe_rotate(&mut g)?;
+        }
+        Ok(existed)
+    }
+
+    /// Returns keys with the given prefix (sorted).
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let g = self.inner.lock();
+        g.map
+            .range(prefix.to_vec()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the store has no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flushes and fsyncs the active segment.
+    pub fn sync(&self) -> Result<(), MetaStoreError> {
+        self.inner.lock().writer.sync()?;
+        Ok(())
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> Stats {
+        let g = self.inner.lock();
+        Stats {
+            live_keys: g.map.len() as u64,
+            log_bytes: g.sealed_bytes + g.writer.len(),
+            dead_bytes: g.dead_bytes,
+            segments: g.segments.len() as u64,
+            compactions: g.compactions,
+        }
+    }
+
+    /// Rewrites the store as a single snapshot segment containing only live
+    /// entries, then removes the old segments.
+    pub fn compact(&self) -> Result<(), MetaStoreError> {
+        let mut g = self.inner.lock();
+        self.compact_locked(&mut g)
+    }
+
+    fn compact_locked(&self, g: &mut Inner) -> Result<(), MetaStoreError> {
+        g.writer.sync()?;
+        let new_seg = g.segments.last().copied().unwrap_or(0) + 1;
+        let tmp_path = g.dir.join("compact.tmp");
+        {
+            let tmp = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .read(true)
+                .truncate(true)
+                .open(&tmp_path)?;
+            let mut w = LogWriter::new(tmp, 0)?;
+            for (k, v) in g.map.iter() {
+                w.append(&Record::put(k.clone(), v.clone()))?;
+            }
+            w.sync()?;
+        }
+        let final_path = segment_path(&g.dir, new_seg);
+        fs::rename(&tmp_path, &final_path)?;
+        // Remove old segments only after the snapshot is durable.
+        let old = std::mem::take(&mut g.segments);
+        for n in old {
+            fs::remove_file(segment_path(&g.dir, n)).ok();
+        }
+        g.segments = vec![new_seg];
+        g.active_seg = new_seg;
+        g.sealed_bytes = 0;
+        g.dead_bytes = 0;
+        g.compactions += 1;
+        // Reopen the snapshot as the active segment for appends.
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&final_path)?;
+        let len = file.metadata()?.len();
+        g.writer = LogWriter::new(file, len)?;
+        Ok(())
+    }
+
+    fn maybe_rotate(&self, g: &mut Inner) -> Result<(), MetaStoreError> {
+        if g.writer.len() < g.opts.segment_max_bytes {
+            return Ok(());
+        }
+        let total = g.sealed_bytes + g.writer.len();
+        let garbage = g.dead_bytes as f64 / total.max(1) as f64;
+        if garbage >= g.opts.compact_garbage_ratio {
+            return self.compact_locked(g);
+        }
+        // Seal the active segment and start a new one.
+        g.writer.sync()?;
+        g.sealed_bytes += g.writer.len();
+        let new_seg = g.segments.last().copied().unwrap_or(0) + 1;
+        g.segments.push(new_seg);
+        g.active_seg = new_seg;
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(segment_path(&g.dir, new_seg))?;
+        g.writer = LogWriter::new(file, 0)?;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for MetaStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("MetaStore")
+            .field("live_keys", &s.live_keys)
+            .field("segments", &s.segments)
+            .field("log_bytes", &s.log_bytes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = N.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!(
+            "tiera-store-{}-{}-{}",
+            std::process::id(),
+            tag,
+            n
+        ));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let dir = temp_dir("pgd");
+        let s = MetaStore::open(&dir).unwrap();
+        s.put(b"k1", b"v1").unwrap();
+        s.put(b"k2", b"v2").unwrap();
+        assert_eq!(s.get(b"k1"), Some(b"v1".to_vec()));
+        assert!(s.delete(b"k1").unwrap());
+        assert!(!s.delete(b"k1").unwrap(), "double delete is false");
+        assert_eq!(s.get(b"k1"), None);
+        assert_eq!(s.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_recovers_state() {
+        let dir = temp_dir("reopen");
+        {
+            let s = MetaStore::open(&dir).unwrap();
+            s.put(b"a", b"1").unwrap();
+            s.put(b"b", b"2").unwrap();
+            s.put(b"a", b"3").unwrap(); // overwrite
+            s.delete(b"b").unwrap();
+            s.sync().unwrap();
+        }
+        let s = MetaStore::open(&dir).unwrap();
+        assert_eq!(s.get(b"a"), Some(b"3".to_vec()));
+        assert_eq!(s.get(b"b"), None);
+        assert_eq!(s.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_with_torn_tail_recovers_prefix() {
+        let dir = temp_dir("torn");
+        {
+            let s = MetaStore::open(&dir).unwrap();
+            s.put(b"good", b"yes").unwrap();
+            s.put(b"maybe", b"cut").unwrap();
+            s.sync().unwrap();
+        }
+        // Chop bytes off the active segment, as an interrupted write would.
+        let seg = segment_path(&dir, 0);
+        let len = fs::metadata(&seg).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let s = MetaStore::open(&dir).unwrap();
+        assert_eq!(s.get(b"good"), Some(b"yes".to_vec()));
+        assert_eq!(s.get(b"maybe"), None);
+        // The store keeps working after recovery.
+        s.put(b"after", b"crash").unwrap();
+        s.sync().unwrap();
+        drop(s);
+        let s = MetaStore::open(&dir).unwrap();
+        assert_eq!(s.get(b"after"), Some(b"crash".to_vec()));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_creates_segments() {
+        let dir = temp_dir("rotate");
+        let s = MetaStore::open_with(
+            &dir,
+            MetaStoreOptions {
+                segment_max_bytes: 512,
+                compact_garbage_ratio: 1.1, // never auto-compact
+                sync_every_append: false,
+            },
+        )
+        .unwrap();
+        for i in 0..100 {
+            s.put(format!("key-{i}").as_bytes(), &[0u8; 32]).unwrap();
+        }
+        assert!(s.stats().segments > 1, "{:?}", s.stats());
+        drop(s);
+        let s = MetaStore::open(&dir).unwrap();
+        assert_eq!(s.len(), 100);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_shrinks_log_and_preserves_data() {
+        let dir = temp_dir("compact");
+        let s = MetaStore::open(&dir).unwrap();
+        for round in 0..10 {
+            for i in 0..50 {
+                s.put(format!("key-{i}").as_bytes(), format!("v{round}").as_bytes())
+                    .unwrap();
+            }
+        }
+        let before = s.stats().log_bytes;
+        s.compact().unwrap();
+        let after = s.stats();
+        assert!(after.log_bytes < before / 2, "{before} -> {}", after.log_bytes);
+        assert_eq!(after.compactions, 1);
+        // Data survives both compaction and reopen.
+        assert_eq!(s.get(b"key-7"), Some(b"v9".to_vec()));
+        drop(s);
+        let s = MetaStore::open(&dir).unwrap();
+        assert_eq!(s.len(), 50);
+        assert_eq!(s.get(b"key-49"), Some(b"v9".to_vec()));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auto_compaction_on_garbage() {
+        let dir = temp_dir("auto");
+        let s = MetaStore::open_with(
+            &dir,
+            MetaStoreOptions {
+                segment_max_bytes: 2048,
+                compact_garbage_ratio: 0.3,
+                sync_every_append: false,
+            },
+        )
+        .unwrap();
+        // Overwrite one key repeatedly → nearly all garbage.
+        for i in 0..500 {
+            s.put(b"hot", format!("value-{i}").as_bytes()).unwrap();
+        }
+        assert!(s.stats().compactions >= 1, "{:?}", s.stats());
+        assert_eq!(s.get(b"hot"), Some(b"value-499".to_vec()));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_prefix_ordered() {
+        let dir = temp_dir("scan");
+        let s = MetaStore::open(&dir).unwrap();
+        s.put(b"obj/a", b"1").unwrap();
+        s.put(b"obj/c", b"3").unwrap();
+        s.put(b"obj/b", b"2").unwrap();
+        s.put(b"other", b"x").unwrap();
+        let hits = s.scan_prefix(b"obj/");
+        assert_eq!(
+            hits.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+            vec![b"obj/a".to_vec(), b"obj/b".to_vec(), b"obj/c".to_vec()]
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_updates() {
+        let dir = temp_dir("conc");
+        let s = std::sync::Arc::new(MetaStore::open(&dir).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    s.put(format!("t{t}-k{i}").as_bytes(), b"v").unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 400);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(20))]
+        #[test]
+        fn prop_reopen_matches_model(ops in proptest::collection::vec(
+            (proptest::bool::ANY, 0u8..20, proptest::collection::vec(proptest::num::u8::ANY, 0..64)),
+            1..200,
+        )) {
+            let dir = temp_dir("prop");
+            let mut model: std::collections::HashMap<Vec<u8>, Vec<u8>> = Default::default();
+            {
+                let s = MetaStore::open(&dir).unwrap();
+                for (is_put, key_id, value) in &ops {
+                    let key = vec![*key_id];
+                    if *is_put {
+                        s.put(&key, value).unwrap();
+                        model.insert(key, value.clone());
+                    } else {
+                        s.delete(&key).unwrap();
+                        model.remove(&key);
+                    }
+                }
+                s.sync().unwrap();
+            }
+            let s = MetaStore::open(&dir).unwrap();
+            proptest::prop_assert_eq!(s.len(), model.len());
+            for (k, v) in &model {
+                let got = s.get(k);
+                proptest::prop_assert_eq!(got.as_ref(), Some(v));
+            }
+            fs::remove_dir_all(&dir).ok();
+        }
+    }
+}

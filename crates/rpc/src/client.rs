@@ -1,0 +1,447 @@
+//! Clients: blocking TCP and in-process loopback.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+use tiera_core::instance::{Instance, PutOptions};
+use tiera_core::object::Tag;
+use tiera_sim::SimDuration;
+
+use crate::proto::{read_frame, write_frame, Request, Response};
+
+/// Outcome of a client operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientReceipt {
+    /// Virtual latency the middleware charged.
+    pub latency: SimDuration,
+    /// For GETs, the serving tier.
+    pub served_by: Option<String>,
+}
+
+/// A blocking TCP client speaking the Tiera protocol.
+pub struct TieraClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl TieraClient {
+    /// Connects to a Tiera server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn call(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.writer, &req.encode())?;
+        let frame = read_frame(&mut self.reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        Response::decode(&frame)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Stores an object.
+    pub fn put(&mut self, key: &str, value: &[u8]) -> io::Result<ClientReceipt> {
+        self.put_tagged(key, value, &[])
+    }
+
+    /// Stores an object with tags.
+    pub fn put_tagged(
+        &mut self,
+        key: &str,
+        value: &[u8],
+        tags: &[&str],
+    ) -> io::Result<ClientReceipt> {
+        let req = Request::Put {
+            key: key.to_string(),
+            value: value.to_vec(),
+            tags: tags.iter().map(|s| s.to_string()).collect(),
+        };
+        match self.call(&req)? {
+            Response::PutOk { latency_ns } => Ok(ClientReceipt {
+                latency: SimDuration::from_nanos(latency_ns),
+                served_by: None,
+            }),
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches an object.
+    pub fn get(&mut self, key: &str) -> io::Result<(Vec<u8>, ClientReceipt)> {
+        match self.call(&Request::Get {
+            key: key.to_string(),
+        })? {
+            Response::GetOk {
+                value,
+                latency_ns,
+                served_by,
+            } => Ok((
+                value,
+                ClientReceipt {
+                    latency: SimDuration::from_nanos(latency_ns),
+                    served_by: Some(served_by),
+                },
+            )),
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Deletes an object.
+    pub fn delete(&mut self, key: &str) -> io::Result<ClientReceipt> {
+        match self.call(&Request::Delete {
+            key: key.to_string(),
+        })? {
+            Response::Deleted { latency_ns } => Ok(ClientReceipt {
+                latency: SimDuration::from_nanos(latency_ns),
+                served_by: None,
+            }),
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches `(objects, reads, writes, events)` counters.
+    pub fn stats(&mut self) -> io::Result<(u64, u64, u64, u64)> {
+        match self.call(&Request::Stats)? {
+            Response::Stats {
+                objects,
+                reads,
+                writes,
+                events,
+            } => Ok((objects, reads, writes, events)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    // ---- runtime reconfiguration (paper §4.2.3) ----
+
+    /// Installs a policy rule from specification text
+    /// (`event(...) : response { ... }`); returns its rule id.
+    pub fn add_rule(&mut self, spec_text: &str) -> io::Result<u64> {
+        match self.call(&Request::AddRule {
+            spec_text: spec_text.to_string(),
+        })? {
+            Response::RuleAdded { rule_id } => Ok(rule_id),
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Removes a rule by id.
+    pub fn remove_rule(&mut self, rule_id: u64) -> io::Result<()> {
+        match self.call(&Request::RemoveRule { rule_id })? {
+            Response::Ok => Ok(()),
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Lists installed rules as `(id, label)` pairs.
+    pub fn list_rules(&mut self) -> io::Result<Vec<(u64, String)>> {
+        match self.call(&Request::ListRules)? {
+            Response::Rules { rules } => Ok(rules),
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Attaches a tier resolved through the server's catalog.
+    pub fn attach_tier(&mut self, type_name: &str, label: &str, capacity: u64) -> io::Result<()> {
+        match self.call(&Request::AttachTier {
+            type_name: type_name.to_string(),
+            label: label.to_string(),
+            capacity,
+        })? {
+            Response::Ok => Ok(()),
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Detaches a tier by label.
+    pub fn detach_tier(&mut self, label: &str) -> io::Result<()> {
+        match self.call(&Request::DetachTier {
+            label: label.to_string(),
+        })? {
+            Response::Ok => Ok(()),
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response: {resp:?}"),
+    )
+}
+
+/// In-process client with the same surface as [`TieraClient`], for
+/// colocated deployments (paper: the server "can be co-located with the
+/// application on the same EC2 instance").
+pub struct LocalClient {
+    instance: Arc<Instance>,
+}
+
+impl LocalClient {
+    /// Wraps an instance.
+    pub fn new(instance: Arc<Instance>) -> Self {
+        Self { instance }
+    }
+
+    fn now(&self) -> tiera_sim::SimTime {
+        self.instance.env().clock().now()
+    }
+
+    /// Stores an object.
+    pub fn put(&self, key: &str, value: &[u8]) -> io::Result<ClientReceipt> {
+        self.put_tagged(key, value, &[])
+    }
+
+    /// Stores an object with tags.
+    pub fn put_tagged(&self, key: &str, value: &[u8], tags: &[&str]) -> io::Result<ClientReceipt> {
+        let opts = PutOptions {
+            tags: tags.iter().map(Tag::new).collect(),
+        };
+        self.instance
+            .put_with(key, value.to_vec(), opts, self.now())
+            .map(|r| ClientReceipt {
+                latency: r.latency,
+                served_by: None,
+            })
+            .map_err(|e| io::Error::other(e.to_string()))
+    }
+
+    /// Fetches an object.
+    pub fn get(&self, key: &str) -> io::Result<(Vec<u8>, ClientReceipt)> {
+        self.instance
+            .get(key, self.now())
+            .map(|(v, r)| {
+                (
+                    v.to_vec(),
+                    ClientReceipt {
+                        latency: r.latency,
+                        served_by: Some(r.served_by),
+                    },
+                )
+            })
+            .map_err(|e| io::Error::other(e.to_string()))
+    }
+
+    /// Deletes an object.
+    pub fn delete(&self, key: &str) -> io::Result<ClientReceipt> {
+        self.instance
+            .delete(key, self.now())
+            .map(|latency| ClientReceipt {
+                latency,
+                served_by: None,
+            })
+            .map_err(|e| io::Error::other(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServerConfig, TieraServer};
+    use tiera_core::prelude::*;
+    use tiera_sim::SimEnv;
+
+    fn instance() -> Arc<Instance> {
+        InstanceBuilder::new("rpc", SimEnv::new(61))
+            .tier(MemTier::with_capacity("t1", 64 << 20))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let inst = instance();
+        let handle = TieraServer::start(inst, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut client = TieraClient::connect(handle.addr()).unwrap();
+        client.ping().unwrap();
+        client.put("greeting", b"hello tiera").unwrap();
+        let (value, receipt) = client.get("greeting").unwrap();
+        assert_eq!(value, b"hello tiera");
+        assert_eq!(receipt.served_by.as_deref(), Some("t1"));
+        client.delete("greeting").unwrap();
+        let err = client.get("greeting").unwrap_err();
+        assert!(err.to_string().contains("no such object"), "{err}");
+        let (objects, reads, writes, _) = client.stats().unwrap();
+        assert_eq!(objects, 0);
+        assert!(reads >= 1 && writes >= 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn concurrent_tcp_clients() {
+        let inst = instance();
+        let handle = TieraServer::start(
+            inst,
+            "127.0.0.1:0",
+            ServerConfig {
+                request_threads: 4,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.addr();
+        let mut joins = Vec::new();
+        for c in 0..4 {
+            joins.push(std::thread::spawn(move || {
+                let mut client = TieraClient::connect(addr).unwrap();
+                for i in 0..50 {
+                    let key = format!("c{c}-k{i}");
+                    client.put(&key, format!("v{i}").as_bytes()).unwrap();
+                    let (v, _) = client.get(&key).unwrap();
+                    assert_eq!(v, format!("v{i}").as_bytes());
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let mut client = TieraClient::connect(addr).unwrap();
+        let (objects, ..) = client.stats().unwrap();
+        assert_eq!(objects, 200);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn server_policies_run_in_wall_time() {
+        // A 50 ms write-back timer fires while the server runs live.
+        let env = SimEnv::new(62);
+        let inst = InstanceBuilder::new("timed", env)
+            .tier(MemTier::with_capacity("fast", 64 << 20))
+            .tier(MemTier::with_traits(
+                "slow",
+                64 << 20,
+                TierTraits {
+                    durable: true,
+                    availability_zone: "zone-a".into(),
+                    class: tiera_sim::StorageClass::BlockStore,
+                },
+            ))
+            .rule(
+                Rule::on(EventKind::timer(SimDuration::from_millis(50))).respond(
+                    ResponseSpec::copy(
+                        Selector::InTier("fast".into()).and(Selector::Dirty),
+                        ["slow"],
+                    ),
+                ),
+            )
+            .build()
+            .unwrap();
+        let handle =
+            TieraServer::start(Arc::clone(&inst), "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut client = TieraClient::connect(handle.addr()).unwrap();
+        client.put("wb", b"dirty-data").unwrap();
+        // Wait out a couple of timer periods in wall time.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let meta = inst.registry().get(&"wb".into()).unwrap();
+        assert!(meta.in_tier("slow"), "write-back ran live: {meta:?}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn runtime_reconfiguration_over_tcp() {
+        // The Figure 17 flow, but entirely over the wire: swap the policy
+        // and the tier set on a live server.
+        let env = SimEnv::new(63);
+        let inst = InstanceBuilder::new("reconf", env.clone())
+            .tier(MemTier::with_capacity("memcached", 64 << 20))
+            .tier(MemTier::with_capacity("ebs", 64 << 20))
+            .build()
+            .unwrap();
+        let mut catalog = tiera_core::catalog::TierCatalog::new();
+        catalog.register("Mem", |label, cap| {
+            MemTier::with_capacity(label, cap) as tiera_core::tier::TierHandle
+        });
+        let handle = TieraServer::start(
+            Arc::clone(&inst),
+            "127.0.0.1:0",
+            ServerConfig {
+                catalog: Some(catalog),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = TieraClient::connect(handle.addr()).unwrap();
+
+        // Install a write-through rule from spec text.
+        let rule_id = client
+            .add_rule(
+                "event(insert.into) : response {
+                     store(what: insert.object, to: [memcached, ebs]);
+                 }",
+            )
+            .unwrap();
+        client.put("k1", b"v1").unwrap();
+        let meta = inst.registry().get(&"k1".into()).unwrap();
+        assert!(meta.in_tier("memcached") && meta.in_tier("ebs"));
+
+        // Attach a new tier through the catalog, swap the rule for one
+        // targeting it, and verify placement follows.
+        client.attach_tier("Mem", "ephemeral", 64 << 20).unwrap();
+        client.remove_rule(rule_id).unwrap();
+        let id2 = client
+            .add_rule(
+                "event(insert.into) : response {
+                     store(what: insert.object, to: [memcached, ephemeral]);
+                 }",
+            )
+            .unwrap();
+        client.detach_tier("ebs").unwrap();
+        client.put("k2", b"v2").unwrap();
+        let meta = inst.registry().get(&"k2".into()).unwrap();
+        assert!(meta.in_tier("ephemeral") && !meta.in_tier("ebs"));
+
+        let rules = client.list_rules().unwrap();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].0, id2);
+
+        // Error paths surface as io errors with the server's message.
+        assert!(client.add_rule("event(bogus) : response {}").is_err());
+        assert!(client.remove_rule(9999).is_err());
+        assert!(client.attach_tier("Tape", "t", 1).is_err());
+        assert!(client.detach_tier("missing").is_err());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn attach_tier_rejected_without_catalog() {
+        let inst = instance();
+        let handle =
+            TieraServer::start(inst, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut client = TieraClient::connect(handle.addr()).unwrap();
+        let err = client.attach_tier("Mem", "x", 1 << 20).unwrap_err();
+        assert!(err.to_string().contains("no tier catalog"), "{err}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn local_client_matches_tcp_semantics() {
+        let inst = instance();
+        let client = LocalClient::new(Arc::clone(&inst));
+        client.put_tagged("k", b"v", &["tmp"]).unwrap();
+        let (v, r) = client.get("k").unwrap();
+        assert_eq!(v, b"v");
+        assert_eq!(r.served_by.as_deref(), Some("t1"));
+        client.delete("k").unwrap();
+        assert!(client.get("k").is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! # tiera-rpc — the Tiera server's RPC layer
+//!
+//! Paper §3: "The Tiera server is deployed as a Thrift server on an EC2
+//! instance... When the server starts up, it begins by reading the
+//! configuration file that is used to indicate the different tiers..., the
+//! size of the thread pool dedicated to service client requests, [and] the
+//! size of thread pool dedicated to service responses and evaluate events."
+//!
+//! This crate replaces Thrift with a small, fully specified framed binary
+//! protocol ([`proto`]) and provides:
+//!
+//! * [`TieraServer`] — a TCP server with a fixed-size request thread pool
+//!   and a dedicated event thread that maps wall time onto the instance's
+//!   virtual clock and drives timers/background responses (the "response
+//!   pool" of the paper, §3);
+//! * [`TieraClient`] — a blocking client;
+//! * [`LocalClient`] — an in-process loopback with the same API, used when
+//!   the application colocates with the server (and by the Figure 18
+//!   overhead measurements, where RPC cost must not drown the control-layer
+//!   cost being measured).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{LocalClient, TieraClient};
+pub use server::{ServerConfig, ServerHandle, TieraServer};

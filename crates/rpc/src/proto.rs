@@ -1,0 +1,546 @@
+//! Wire protocol.
+//!
+//! Every message is a frame: `u32` little-endian payload length, then the
+//! payload. The payload starts with a one-byte opcode followed by
+//! length-prefixed fields (u32 lengths, little-endian integers). The
+//! protocol is versioned by the magic in the `Hello` exchange.
+
+use std::io::{self, Read, Write};
+
+/// Protocol magic ("TIRA" + version 1).
+pub const MAGIC: u32 = 0x5449_5241;
+/// Maximum accepted frame size (64 MiB) — guards against garbage lengths.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Client → server requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Store an object, optionally tagged.
+    Put {
+        /// Object key.
+        key: String,
+        /// Payload.
+        value: Vec<u8>,
+        /// Tags to attach.
+        tags: Vec<String>,
+    },
+    /// Fetch an object.
+    Get {
+        /// Object key.
+        key: String,
+    },
+    /// Delete an object.
+    Delete {
+        /// Object key.
+        key: String,
+    },
+    /// Fetch instance statistics.
+    Stats,
+    /// Install a policy rule given as specification-language text
+    /// (`event(...) : response { ... }`).
+    AddRule {
+        /// The event clause source text.
+        spec_text: String,
+    },
+    /// Remove a rule by id.
+    RemoveRule {
+        /// The rule id returned by `AddRule` / listed by `ListRules`.
+        rule_id: u64,
+    },
+    /// List installed rules.
+    ListRules,
+    /// Attach a new tier resolved through the server's tier catalog.
+    AttachTier {
+        /// Catalog type name (e.g. `Memcached`, `EBS`, `S3`).
+        type_name: String,
+        /// Label within the instance.
+        label: String,
+        /// Capacity in bytes.
+        capacity: u64,
+    },
+    /// Detach a tier by label.
+    DetachTier {
+        /// The tier label.
+        label: String,
+    },
+}
+
+/// Server → client responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Ping reply.
+    Pong,
+    /// PUT acknowledged; virtual latency charged, in nanoseconds.
+    PutOk {
+        /// Charged virtual latency (ns).
+        latency_ns: u64,
+    },
+    /// GET result.
+    GetOk {
+        /// Payload.
+        value: Vec<u8>,
+        /// Charged virtual latency (ns).
+        latency_ns: u64,
+        /// Tier that served the read.
+        served_by: String,
+    },
+    /// DELETE acknowledged.
+    Deleted {
+        /// Charged virtual latency (ns).
+        latency_ns: u64,
+    },
+    /// Instance statistics snapshot.
+    Stats {
+        /// Objects stored.
+        objects: u64,
+        /// Reads served.
+        reads: u64,
+        /// Writes served.
+        writes: u64,
+        /// Events fired.
+        events: u64,
+    },
+    /// Request failed.
+    Error {
+        /// Error message.
+        message: String,
+    },
+    /// Generic success for reconfiguration requests.
+    Ok,
+    /// A rule was installed.
+    RuleAdded {
+        /// Its id (usable with `RemoveRule`).
+        rule_id: u64,
+    },
+    /// Installed rules.
+    Rules {
+        /// `(id, label)` pairs.
+        rules: Vec<(u64, String)>,
+    },
+}
+
+// ---- encoding helpers ----
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "truncated frame",
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn bytes(&mut self) -> io::Result<Vec<u8>> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "field too big"));
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn string(&mut self) -> io::Result<String> {
+        String::from_utf8(self.bytes()?)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "invalid utf-8"))
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+impl Request {
+    /// Encodes to a payload (no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping => out.push(0),
+            Request::Put { key, value, tags } => {
+                out.push(1);
+                put_str(&mut out, key);
+                put_bytes(&mut out, value);
+                out.extend_from_slice(&(tags.len() as u32).to_le_bytes());
+                for t in tags {
+                    put_str(&mut out, t);
+                }
+            }
+            Request::Get { key } => {
+                out.push(2);
+                put_str(&mut out, key);
+            }
+            Request::Delete { key } => {
+                out.push(3);
+                put_str(&mut out, key);
+            }
+            Request::Stats => out.push(4),
+            Request::AddRule { spec_text } => {
+                out.push(5);
+                put_str(&mut out, spec_text);
+            }
+            Request::RemoveRule { rule_id } => {
+                out.push(6);
+                out.extend_from_slice(&rule_id.to_le_bytes());
+            }
+            Request::ListRules => out.push(7),
+            Request::AttachTier {
+                type_name,
+                label,
+                capacity,
+            } => {
+                out.push(8);
+                put_str(&mut out, type_name);
+                put_str(&mut out, label);
+                out.extend_from_slice(&capacity.to_le_bytes());
+            }
+            Request::DetachTier { label } => {
+                out.push(9);
+                put_str(&mut out, label);
+            }
+        }
+        out
+    }
+
+    /// Decodes from a payload.
+    pub fn decode(buf: &[u8]) -> io::Result<Request> {
+        let mut c = Cursor { buf, pos: 0 };
+        let req = match c.u8()? {
+            0 => Request::Ping,
+            1 => {
+                let key = c.string()?;
+                let value = c.bytes()?;
+                let n = c.u32()? as usize;
+                if n > 1024 {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "too many tags"));
+                }
+                let mut tags = Vec::with_capacity(n);
+                for _ in 0..n {
+                    tags.push(c.string()?);
+                }
+                Request::Put { key, value, tags }
+            }
+            2 => Request::Get { key: c.string()? },
+            3 => Request::Delete { key: c.string()? },
+            4 => Request::Stats,
+            5 => Request::AddRule {
+                spec_text: c.string()?,
+            },
+            6 => Request::RemoveRule { rule_id: c.u64()? },
+            7 => Request::ListRules,
+            8 => Request::AttachTier {
+                type_name: c.string()?,
+                label: c.string()?,
+                capacity: c.u64()?,
+            },
+            9 => Request::DetachTier { label: c.string()? },
+            op => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown request opcode {op}"),
+                ))
+            }
+        };
+        if !c.finished() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trailing bytes in request",
+            ));
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes to a payload (no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Pong => out.push(0),
+            Response::PutOk { latency_ns } => {
+                out.push(1);
+                out.extend_from_slice(&latency_ns.to_le_bytes());
+            }
+            Response::GetOk {
+                value,
+                latency_ns,
+                served_by,
+            } => {
+                out.push(2);
+                put_bytes(&mut out, value);
+                out.extend_from_slice(&latency_ns.to_le_bytes());
+                put_str(&mut out, served_by);
+            }
+            Response::Deleted { latency_ns } => {
+                out.push(3);
+                out.extend_from_slice(&latency_ns.to_le_bytes());
+            }
+            Response::Stats {
+                objects,
+                reads,
+                writes,
+                events,
+            } => {
+                out.push(4);
+                for v in [objects, reads, writes, events] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Response::Error { message } => {
+                out.push(5);
+                put_str(&mut out, message);
+            }
+            Response::Ok => out.push(6),
+            Response::RuleAdded { rule_id } => {
+                out.push(7);
+                out.extend_from_slice(&rule_id.to_le_bytes());
+            }
+            Response::Rules { rules } => {
+                out.push(8);
+                out.extend_from_slice(&(rules.len() as u32).to_le_bytes());
+                for (id, label) in rules {
+                    out.extend_from_slice(&id.to_le_bytes());
+                    put_str(&mut out, label);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes from a payload.
+    pub fn decode(buf: &[u8]) -> io::Result<Response> {
+        let mut c = Cursor { buf, pos: 0 };
+        let resp = match c.u8()? {
+            0 => Response::Pong,
+            1 => Response::PutOk {
+                latency_ns: c.u64()?,
+            },
+            2 => Response::GetOk {
+                value: c.bytes()?,
+                latency_ns: c.u64()?,
+                served_by: c.string()?,
+            },
+            3 => Response::Deleted {
+                latency_ns: c.u64()?,
+            },
+            4 => Response::Stats {
+                objects: c.u64()?,
+                reads: c.u64()?,
+                writes: c.u64()?,
+                events: c.u64()?,
+            },
+            5 => Response::Error {
+                message: c.string()?,
+            },
+            6 => Response::Ok,
+            7 => Response::RuleAdded { rule_id: c.u64()? },
+            8 => {
+                let n = c.u32()? as usize;
+                if n > 100_000 {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "too many rules"));
+                }
+                let mut rules = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rules.push((c.u64()?, c.string()?));
+                }
+                Response::Rules { rules }
+            }
+            op => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown response opcode {op}"),
+                ))
+            }
+        };
+        if !c.finished() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trailing bytes in response",
+            ));
+        }
+        Ok(resp)
+    }
+}
+
+/// Writes a frame (length header + payload).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads a frame, enforcing [`MAX_FRAME`]. Returns `None` on clean EOF at a
+/// frame boundary.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof mid-header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too big"));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let enc = req.encode();
+        assert_eq!(Request::decode(&enc).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let enc = resp.encode();
+        assert_eq!(Response::decode(&enc).unwrap(), resp);
+    }
+
+    #[test]
+    fn reconfiguration_roundtrips() {
+        roundtrip_req(Request::AddRule {
+            spec_text: "event(insert.into) : response { store(what: insert.object, to: t1); }"
+                .into(),
+        });
+        roundtrip_req(Request::RemoveRule { rule_id: 42 });
+        roundtrip_req(Request::ListRules);
+        roundtrip_req(Request::AttachTier {
+            type_name: "S3".into(),
+            label: "backup".into(),
+            capacity: 10 << 30,
+        });
+        roundtrip_req(Request::DetachTier { label: "ebs".into() });
+        roundtrip_resp(Response::Ok);
+        roundtrip_resp(Response::RuleAdded { rule_id: 7 });
+        roundtrip_resp(Response::Rules {
+            rules: vec![(1, "placement".into()), (2, "spec line 4".into())],
+        });
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::Put {
+            key: "k".into(),
+            value: vec![1, 2, 3],
+            tags: vec!["tmp".into(), "hot".into()],
+        });
+        roundtrip_req(Request::Get { key: "key/with/slashes".into() });
+        roundtrip_req(Request::Delete { key: "".into() });
+        roundtrip_req(Request::Stats);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_resp(Response::Pong);
+        roundtrip_resp(Response::PutOk { latency_ns: 12345 });
+        roundtrip_resp(Response::GetOk {
+            value: (0..=255).collect(),
+            latency_ns: u64::MAX,
+            served_by: "tier1".into(),
+        });
+        roundtrip_resp(Response::Deleted { latency_ns: 0 });
+        roundtrip_resp(Response::Stats {
+            objects: 1,
+            reads: 2,
+            writes: 3,
+            events: 4,
+        });
+        roundtrip_resp(Response::Error {
+            message: "tier full".into(),
+        });
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Request::decode(&[99]).is_err(), "unknown opcode");
+        assert!(Request::decode(&[]).is_err(), "empty");
+        // Trailing bytes after a valid message.
+        let mut enc = Request::Ping.encode();
+        enc.push(0);
+        assert!(Request::decode(&enc).is_err());
+        // Truncated string field.
+        let enc = Request::Get { key: "abcdef".into() }.encode();
+        assert!(Request::decode(&enc[..enc.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn frame_roundtrip_and_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some(b"hello".to_vec()));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(Vec::new()));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_put_roundtrip(key in "[a-z0-9/]{0,40}", value: Vec<u8>, tags in proptest::collection::vec("[a-z]{1,8}", 0..4)) {
+            roundtrip_req(Request::Put { key, value, tags });
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes: Vec<u8>) {
+            let _ = Request::decode(&bytes);
+            let _ = Response::decode(&bytes);
+        }
+    }
+}

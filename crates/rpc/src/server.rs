@@ -1,0 +1,400 @@
+//! The Tiera TCP server.
+//!
+//! Structure mirrors the paper's prototype (§3): a pool of threads services
+//! client requests; a dedicated event thread evaluates timer events and
+//! drains background responses. Wall-clock time is mapped 1:1 onto the
+//! instance's virtual clock so policies written in seconds behave as
+//! expected when the server runs live.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+
+use tiera_core::catalog::TierCatalog;
+use tiera_core::instance::{Instance, PutOptions};
+use tiera_core::object::Tag;
+use tiera_sim::SimTime;
+
+use crate::proto::{write_frame, Request, Response};
+
+/// Server configuration (the thread-pool sizes of paper §3).
+#[derive(Clone, Default)]
+pub struct ServerConfig {
+    /// Threads servicing client requests (0 → default of 4).
+    pub request_threads: usize,
+    /// Period of the event thread's pump (zero → default of 20 ms).
+    pub event_tick: Duration,
+    /// Tier catalog used to resolve `AttachTier` reconfiguration requests;
+    /// without one, tier attachment over RPC is rejected.
+    pub catalog: Option<TierCatalog>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("request_threads", &self.request_threads)
+            .field("event_tick", &self.event_tick)
+            .field("catalog", &self.catalog.is_some())
+            .finish()
+    }
+}
+
+/// A running server; dropping the handle shuts it down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and joins all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Poke the acceptor so it notices.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The Tiera RPC server.
+pub struct TieraServer;
+
+impl TieraServer {
+    /// Starts serving `instance` on `addr` (use port 0 for an ephemeral
+    /// port; the bound address is on the handle).
+    pub fn start(
+        instance: Arc<Instance>,
+        addr: &str,
+        cfg: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let epoch = Instant::now();
+        let mut threads = Vec::new();
+        let request_threads = if cfg.request_threads == 0 { 4 } else { cfg.request_threads };
+        let event_tick = if cfg.event_tick.is_zero() {
+            Duration::from_millis(20)
+        } else {
+            cfg.event_tick
+        };
+        let catalog = Arc::new(cfg.catalog);
+
+        // Request pool: the acceptor distributes connections to workers.
+        let (conn_tx, conn_rx) = channel::unbounded::<TcpStream>();
+        for worker in 0..request_threads {
+            let conn_rx = conn_rx.clone();
+            let instance = Arc::clone(&instance);
+            let shutdown = Arc::clone(&shutdown);
+            let catalog = Arc::clone(&catalog);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("tiera-req-{worker}"))
+                    .spawn(move || {
+                        while let Ok(stream) = conn_rx.recv() {
+                            if shutdown.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let _ =
+                                serve_connection(&instance, &catalog, stream, epoch, &shutdown);
+                        }
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+
+        // Event thread: maps wall time onto virtual time and pumps.
+        {
+            let instance = Arc::clone(&instance);
+            let shutdown = Arc::clone(&shutdown);
+            let tick = event_tick;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("tiera-events".into())
+                    .spawn(move || {
+                        while !shutdown.load(Ordering::Acquire) {
+                            let now = wall_to_virtual(epoch);
+                            instance.env().clock().advance_to(now);
+                            let _ = instance.pump(instance.env().clock().now());
+                            std::thread::sleep(tick);
+                        }
+                    })
+                    .expect("spawn event thread"),
+            );
+        }
+
+        // Acceptor.
+        {
+            let shutdown = Arc::clone(&shutdown);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("tiera-accept".into())
+                    .spawn(move || {
+                        for stream in listener.incoming() {
+                            if shutdown.load(Ordering::Acquire) {
+                                break;
+                            }
+                            if let Ok(stream) = stream {
+                                let _ = conn_tx.send(stream);
+                            }
+                        }
+                    })
+                    .expect("spawn acceptor"),
+            );
+        }
+
+        Ok(ServerHandle {
+            addr: local,
+            shutdown,
+            threads,
+        })
+    }
+}
+
+fn wall_to_virtual(epoch: Instant) -> SimTime {
+    SimTime::from_nanos(epoch.elapsed().as_nanos() as u64)
+}
+
+fn serve_connection(
+    instance: &Arc<Instance>,
+    catalog: &Option<TierCatalog>,
+    stream: TcpStream,
+    epoch: Instant,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    // A short read timeout lets the worker notice shutdown while a client
+    // holds the connection open idle (otherwise joining the pool would hang
+    // until every client disconnects).
+    stream.set_read_timeout(Some(Duration::from_millis(50))).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while !shutdown.load(Ordering::Acquire) {
+        match read_frame_interruptible(&mut reader, shutdown)? {
+            FrameRead::Frame(frame) => {
+                let response = match Request::decode(&frame) {
+                    Ok(req) => handle(instance, catalog, req, epoch),
+                    Err(e) => Response::Error {
+                        message: format!("bad request: {e}"),
+                    },
+                };
+                write_frame(&mut writer, &response.encode())?;
+            }
+            FrameRead::Eof | FrameRead::ShuttingDown => return Ok(()),
+        }
+    }
+    Ok(())
+}
+
+enum FrameRead {
+    Frame(Vec<u8>),
+    Eof,
+    ShuttingDown,
+}
+
+/// Like [`read_frame`] but tolerant of read timeouts: partial progress is
+/// preserved across timeouts, and the shutdown flag is honored while idle.
+fn read_frame_interruptible<R: io::Read>(
+    r: &mut R,
+    shutdown: &AtomicBool,
+) -> io::Result<FrameRead> {
+    let mut header = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(FrameRead::Eof),
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof mid-header")),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::Acquire) {
+                    return Ok(FrameRead::ShuttingDown);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > crate::proto::MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too big"));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0usize;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof mid-frame")),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(FrameRead::Frame(payload))
+}
+
+fn handle(
+    instance: &Arc<Instance>,
+    catalog: &Option<TierCatalog>,
+    req: Request,
+    epoch: Instant,
+) -> Response {
+    let now = {
+        // Never let a request run "before" already-published virtual time.
+        let wall = wall_to_virtual(epoch);
+        instance.env().clock().advance_to(wall)
+    };
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Put { key, value, tags } => {
+            let opts = PutOptions {
+                tags: tags.iter().map(Tag::new).collect(),
+            };
+            match instance.put_with(key.as_str(), value, opts, now) {
+                Ok(r) => Response::PutOk {
+                    latency_ns: r.latency.as_nanos(),
+                },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Get { key } => match instance.get(key.as_str(), now) {
+            Ok((value, r)) => Response::GetOk {
+                value: value.to_vec(),
+                latency_ns: r.latency.as_nanos(),
+                served_by: r.served_by,
+            },
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::Delete { key } => match instance.delete(key.as_str(), now) {
+            Ok(latency) => Response::Deleted {
+                latency_ns: latency.as_nanos(),
+            },
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::Stats => {
+            let reads = instance.stats().reads();
+            let writes = instance.stats().writes();
+            let (events, _, _) = instance.stats().dispatch_counters();
+            Response::Stats {
+                objects: instance.registry().len() as u64,
+                reads: reads.count,
+                writes: writes.count,
+                events,
+            }
+        }
+        Request::AddRule { spec_text } => {
+            // Parse the event clause and compile it against the instance's
+            // environment (tier references are validated at execution).
+            match tiera_spec::parse_event(&spec_text) {
+                Ok(decl) => {
+                    let empty = TierCatalog::new();
+                    let compiler =
+                        tiera_spec::Compiler::new(&empty, instance.env().clone());
+                    match compiler.compile_event(&decl) {
+                        Ok(rule) => {
+                            let known = instance.tier_names();
+                            let bad = rule
+                                .responses
+                                .iter()
+                                .flat_map(|r| r.referenced_tiers())
+                                .find(|t| !known.iter().any(|k| k == t))
+                                .map(str::to_string);
+                            if let Some(t) = bad {
+                                return Response::Error {
+                                    message: format!("unknown tier `{t}` in rule"),
+                                };
+                            }
+                            let id = instance.policy().add(rule);
+                            Response::RuleAdded { rule_id: id.0 }
+                        }
+                        Err(e) => Response::Error {
+                            message: e.to_string(),
+                        },
+                    }
+                }
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::RemoveRule { rule_id } => {
+            if instance.policy().remove(tiera_core::policy::RuleId(rule_id)) {
+                Response::Ok
+            } else {
+                Response::Error {
+                    message: format!("no rule with id {rule_id}"),
+                }
+            }
+        }
+        Request::ListRules => Response::Rules {
+            rules: instance
+                .policy()
+                .snapshot()
+                .into_iter()
+                .map(|(id, rule)| {
+                    (
+                        id.0,
+                        rule.label.unwrap_or_else(|| format!("{:?}", rule.event)),
+                    )
+                })
+                .collect(),
+        },
+        Request::AttachTier {
+            type_name,
+            label,
+            capacity,
+        } => match catalog {
+            None => Response::Error {
+                message: "server has no tier catalog; tier attachment disabled".into(),
+            },
+            Some(catalog) => match catalog.create(&type_name, &label, capacity) {
+                Ok(tier) => match instance.attach_tier(tier) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+        },
+        Request::DetachTier { label } => match instance.detach_tier(&label) {
+            Ok(()) => Response::Ok,
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+    }
+}

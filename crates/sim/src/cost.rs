@@ -1,0 +1,170 @@
+//! Monetary cost model (2014-era AWS price points).
+//!
+//! The paper's cost plots (Figures 9b, 11b, 13b) compare *monthly storage
+//! cost per GB* across tier mixes. What matters for every conclusion is the
+//! ordering and rough magnitude of the price points:
+//!
+//! * in-memory cache (ElastiCache/Memcached): dominated by the EC2 cache
+//!   node's hourly price amortized per GB — by far the most expensive;
+//! * block store (EBS): cents per GB-month plus a per-IO charge;
+//! * object store (S3): the cheapest per GB, but PUT/GET requests are
+//!   themselves billed (which Figure 12b exploits via deduplication);
+//! * ephemeral instance storage: bundled with the instance, $0 marginal.
+//!
+//! Prices below follow the early-2014 us-east-1 public price sheet the paper
+//! cites (<https://aws.amazon.com/ec2/pricing/> at the time).
+
+/// Hours in a (30-day) billing month, used to amortize hourly node prices.
+pub const HOURS_PER_MONTH: f64 = 720.0;
+
+/// Broad storage classes with distinct pricing structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageClass {
+    /// In-memory cache node (ElastiCache-style).
+    MemoryCache,
+    /// Network-attached persistent block store (EBS-style).
+    BlockStore,
+    /// Durable object store (S3-style).
+    ObjectStore,
+    /// Instance-local ephemeral disk.
+    Ephemeral,
+}
+
+/// A price plan for one storage class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PricePlan {
+    /// Dollars per GB-month of provisioned capacity.
+    pub dollars_per_gb_month: f64,
+    /// Dollars per 1,000 PUT-class requests.
+    pub dollars_per_1k_puts: f64,
+    /// Dollars per 10,000 GET-class requests.
+    pub dollars_per_10k_gets: f64,
+}
+
+impl PricePlan {
+    /// A plan that charges nothing (ephemeral storage).
+    pub const FREE: PricePlan = PricePlan {
+        dollars_per_gb_month: 0.0,
+        dollars_per_1k_puts: 0.0,
+        dollars_per_10k_gets: 0.0,
+    };
+
+    /// The default plan for a storage class (2014 us-east-1).
+    pub fn for_class(class: StorageClass) -> Self {
+        match class {
+            // cache.m1.small ≈ $0.022/h for ~1.3 GB usable ⇒ ≈ $12–16/GB-month.
+            StorageClass::MemoryCache => PricePlan {
+                dollars_per_gb_month: 0.022 * HOURS_PER_MONTH / 1.3,
+                dollars_per_1k_puts: 0.0,
+                dollars_per_10k_gets: 0.0,
+            },
+            // EBS standard: $0.05/GB-month + $0.05 per million IO
+            // (expressed here per 1k/10k to share the accounting shape).
+            StorageClass::BlockStore => PricePlan {
+                dollars_per_gb_month: 0.05,
+                dollars_per_1k_puts: 0.05 / 1000.0,
+                dollars_per_10k_gets: 0.05 / 100.0,
+            },
+            // S3: $0.03/GB-month (first TB), $0.005/1k PUT, $0.004/10k GET.
+            StorageClass::ObjectStore => PricePlan {
+                dollars_per_gb_month: 0.03,
+                dollars_per_1k_puts: 0.005,
+                dollars_per_10k_gets: 0.004,
+            },
+            StorageClass::Ephemeral => PricePlan::FREE,
+        }
+    }
+
+    /// Monthly capacity cost for `gb` provisioned gigabytes.
+    pub fn capacity_cost(&self, gb: f64) -> f64 {
+        self.dollars_per_gb_month * gb.max(0.0)
+    }
+
+    /// Request cost for the given operation counts.
+    pub fn request_cost(&self, puts: u64, gets: u64) -> f64 {
+        self.dollars_per_1k_puts * (puts as f64 / 1_000.0)
+            + self.dollars_per_10k_gets * (gets as f64 / 10_000.0)
+    }
+}
+
+/// Monthly cost of a 2014-era *provisioned-IOPS* (io1-style) EBS volume —
+/// what a production database deployment provisions: $0.125/GB-month plus
+/// $0.065 per provisioned IOPS-month.
+pub fn provisioned_iops_monthly(gb: f64, piops: f64) -> f64 {
+    0.125 * gb.max(0.0) + 0.065 * piops.max(0.0)
+}
+
+/// An itemized monthly cost report for a Tiera instance configuration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostReport {
+    /// `(tier label, monthly dollars)` line items.
+    pub items: Vec<(String, f64)>,
+}
+
+impl CostReport {
+    /// Adds a line item.
+    pub fn add(&mut self, label: impl Into<String>, dollars: f64) {
+        self.items.push((label.into(), dollars));
+    }
+
+    /// Total monthly dollars.
+    pub fn total(&self) -> f64 {
+        self.items.iter().map(|(_, d)| d).sum()
+    }
+}
+
+impl std::fmt::Display for CostReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (label, d) in &self.items {
+            writeln!(f, "  {label:<28} ${d:>8.4}/month")?;
+        }
+        write!(f, "  {:<28} ${:>8.4}/month", "TOTAL", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_price_ordering_matches_paper() {
+        let mem = PricePlan::for_class(StorageClass::MemoryCache).dollars_per_gb_month;
+        let ebs = PricePlan::for_class(StorageClass::BlockStore).dollars_per_gb_month;
+        let s3 = PricePlan::for_class(StorageClass::ObjectStore).dollars_per_gb_month;
+        let eph = PricePlan::for_class(StorageClass::Ephemeral).dollars_per_gb_month;
+        assert!(mem > 50.0 * ebs, "memory must dominate: {mem} vs {ebs}");
+        assert!(ebs > s3);
+        assert_eq!(eph, 0.0);
+    }
+
+    #[test]
+    fn s3_requests_are_billed() {
+        let s3 = PricePlan::for_class(StorageClass::ObjectStore);
+        // 100k PUTs + 1M GETs = 100*0.005 + 100*0.004 = $0.9.
+        let c = s3.request_cost(100_000, 1_000_000);
+        assert!((c - 0.9).abs() < 1e-9, "{c}");
+    }
+
+    #[test]
+    fn memory_cache_requests_are_free() {
+        let mem = PricePlan::for_class(StorageClass::MemoryCache);
+        assert_eq!(mem.request_cost(1_000_000, 1_000_000), 0.0);
+    }
+
+    #[test]
+    fn report_totals_line_items() {
+        let mut r = CostReport::default();
+        r.add("memcached 0.2GB", 2.4);
+        r.add("s3 10GB", 0.3);
+        assert!((r.total() - 2.7).abs() < 1e-12);
+        let shown = r.to_string();
+        assert!(shown.contains("TOTAL"));
+        assert!(shown.contains("memcached 0.2GB"));
+    }
+
+    #[test]
+    fn capacity_cost_clamps_negative() {
+        let p = PricePlan::for_class(StorageClass::BlockStore);
+        assert_eq!(p.capacity_cost(-3.0), 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Time-windowed failure injection.
+//!
+//! Reproduces the paper's Figure 17: "We simulate a failure in EBS (similar
+//! to [the 2011 outage]) by timing out writes around t = 4 mins." A
+//! [`FailureInjector`] holds a set of [`FailureWindow`]s; a simulated tier
+//! consults it before each operation and, if a window covers the current
+//! virtual time, the operation fails (after a modeled timeout delay, which
+//! is what makes the observed throughput collapse rather than error fast).
+
+use crate::clock::{SimDuration, SimTime};
+use parking_lot::RwLock;
+
+/// Which operations a failure window affects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Reads fail.
+    Reads,
+    /// Writes fail (the Figure 17 scenario).
+    Writes,
+    /// Every operation fails.
+    All,
+}
+
+impl FailureKind {
+    /// Whether this kind covers a write operation.
+    pub fn covers_write(self) -> bool {
+        matches!(self, FailureKind::Writes | FailureKind::All)
+    }
+
+    /// Whether this kind covers a read operation.
+    pub fn covers_read(self) -> bool {
+        matches!(self, FailureKind::Reads | FailureKind::All)
+    }
+}
+
+/// A failure window over virtual time: `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureWindow {
+    /// Start of the outage (inclusive).
+    pub from: SimTime,
+    /// End of the outage (exclusive); `None` means "until further notice".
+    pub until: Option<SimTime>,
+    /// Affected operations.
+    pub kind: FailureKind,
+    /// How long a client waits before the operation times out.
+    pub timeout: SimDuration,
+}
+
+impl FailureWindow {
+    /// An open-ended write outage starting at `from` with a default
+    /// 5-second client timeout.
+    pub fn write_outage(from: SimTime) -> Self {
+        Self {
+            from,
+            until: None,
+            kind: FailureKind::Writes,
+            timeout: SimDuration::from_secs(5),
+        }
+    }
+
+    fn covers(&self, now: SimTime) -> bool {
+        now >= self.from && self.until.is_none_or(|u| now < u)
+    }
+}
+
+/// The verdict for one operation at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Operation proceeds normally.
+    Healthy,
+    /// Operation fails after the given timeout delay.
+    TimedOut(SimDuration),
+}
+
+/// Thread-safe collection of failure windows.
+#[derive(Debug, Default)]
+pub struct FailureInjector {
+    windows: RwLock<Vec<FailureWindow>>,
+}
+
+impl FailureInjector {
+    /// Creates an injector with no scheduled failures.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a failure window.
+    pub fn schedule(&self, w: FailureWindow) {
+        self.windows.write().push(w);
+    }
+
+    /// Clears every scheduled window (a "repair").
+    pub fn clear(&self) {
+        self.windows.write().clear();
+    }
+
+    /// Verdict for a write at virtual time `now`.
+    pub fn check_write(&self, now: SimTime) -> Verdict {
+        self.check(now, true)
+    }
+
+    /// Verdict for a read at virtual time `now`.
+    pub fn check_read(&self, now: SimTime) -> Verdict {
+        self.check(now, false)
+    }
+
+    fn check(&self, now: SimTime, is_write: bool) -> Verdict {
+        let windows = self.windows.read();
+        for w in windows.iter() {
+            let covered = if is_write {
+                w.kind.covers_write()
+            } else {
+                w.kind.covers_read()
+            };
+            if covered && w.covers(now) {
+                return Verdict::TimedOut(w.timeout);
+            }
+        }
+        Verdict::Healthy
+    }
+
+    /// Whether any window is active at `now`.
+    pub fn any_active(&self, now: SimTime) -> bool {
+        let windows = self.windows.read();
+        windows.iter().any(|w| w.covers(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_before_window() {
+        let inj = FailureInjector::new();
+        inj.schedule(FailureWindow::write_outage(SimTime::from_secs(240)));
+        assert_eq!(inj.check_write(SimTime::from_secs(239)), Verdict::Healthy);
+    }
+
+    #[test]
+    fn writes_time_out_inside_window_reads_unaffected() {
+        let inj = FailureInjector::new();
+        inj.schedule(FailureWindow::write_outage(SimTime::from_secs(240)));
+        match inj.check_write(SimTime::from_secs(300)) {
+            Verdict::TimedOut(d) => assert_eq!(d, SimDuration::from_secs(5)),
+            v => panic!("expected timeout, got {v:?}"),
+        }
+        assert_eq!(inj.check_read(SimTime::from_secs(300)), Verdict::Healthy);
+    }
+
+    #[test]
+    fn bounded_window_ends() {
+        let inj = FailureInjector::new();
+        inj.schedule(FailureWindow {
+            from: SimTime::from_secs(10),
+            until: Some(SimTime::from_secs(20)),
+            kind: FailureKind::All,
+            timeout: SimDuration::from_secs(1),
+        });
+        assert_ne!(inj.check_read(SimTime::from_secs(15)), Verdict::Healthy);
+        assert_eq!(inj.check_read(SimTime::from_secs(20)), Verdict::Healthy);
+    }
+
+    #[test]
+    fn clear_repairs_everything() {
+        let inj = FailureInjector::new();
+        inj.schedule(FailureWindow::write_outage(SimTime::ZERO));
+        assert_ne!(inj.check_write(SimTime::from_secs(1)), Verdict::Healthy);
+        inj.clear();
+        assert_eq!(inj.check_write(SimTime::from_secs(1)), Verdict::Healthy);
+    }
+}

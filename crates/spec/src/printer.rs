@@ -1,0 +1,364 @@
+//! Pretty-printer for specification ASTs.
+//!
+//! Renders a [`Spec`] back to canonical specification-language text. Used
+//! by tooling (`tiera-server --dump-spec`), by tests (parse ∘ print is the
+//! identity on ASTs — checked property-based below), and when persisting a
+//! runtime-modified configuration back to a file.
+
+use crate::ast::*;
+
+/// Renders a full specification file.
+pub fn print_spec(spec: &Spec) -> String {
+    let mut out = String::new();
+    out.push_str("Tiera ");
+    out.push_str(&spec.name);
+    out.push('(');
+    for (i, p) in spec.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(match p.kind {
+            ParamKind::Time => "time ",
+            ParamKind::Size => "size ",
+            ParamKind::Percent => "percent ",
+        });
+        out.push_str(&p.name);
+    }
+    out.push_str(") {\n");
+    for tier in &spec.tiers {
+        out.push_str(&format!(
+            "    {}: {{ name: {}, size: {} }};\n",
+            tier.label,
+            tier.type_name,
+            print_quantity(&tier.size)
+        ));
+    }
+    for event in &spec.events {
+        out.push_str(&print_event(event, 1));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn indent(level: usize) -> String {
+    "    ".repeat(level)
+}
+
+fn print_event(decl: &EventDecl, level: usize) -> String {
+    let mut out = String::new();
+    let expr = match &decl.event {
+        EventExpr::Insert { tier: None } => "insert.into".to_string(),
+        EventExpr::Insert { tier: Some(t) } => format!("insert.into == {t}"),
+        EventExpr::Delete { tier: None } => "delete.from".to_string(),
+        EventExpr::Delete { tier: Some(t) } => format!("delete.from == {t}"),
+        EventExpr::Timer { period } => format!("time={}", print_quantity(period)),
+        EventExpr::Filled { tier, value } => {
+            format!("{tier}.filled == {}", print_quantity(value))
+        }
+    };
+    out.push_str(&format!("{}event({expr}) : response {{\n", indent(level)));
+    for stmt in &decl.body {
+        out.push_str(&print_stmt(stmt, level + 1));
+    }
+    out.push_str(&format!("{}}}\n", indent(level)));
+    out
+}
+
+fn print_stmt(stmt: &Stmt, level: usize) -> String {
+    match stmt {
+        Stmt::Assign { path, value } => {
+            format!("{}{} = {};\n", indent(level), path.join("."), value)
+        }
+        Stmt::If { guard, body } => {
+            let GuardExpr::Filled { tier, value } = guard;
+            let guard_text = match value {
+                None => format!("{tier}.filled"),
+                Some(v) => format!("{tier}.filled == {}", print_quantity(v)),
+            };
+            let mut out = format!("{}if ({guard_text}) {{\n", indent(level));
+            for s in body {
+                out.push_str(&print_stmt(s, level + 1));
+            }
+            out.push_str(&format!("{}}}\n", indent(level)));
+            out
+        }
+        Stmt::Call(call) => {
+            let args: Vec<String> = call
+                .args
+                .iter()
+                .map(|(k, v)| format!("{k}: {}", print_arg(v)))
+                .collect();
+            format!("{}{}({});\n", indent(level), call.name, args.join(", "))
+        }
+    }
+}
+
+fn print_arg(v: &ArgValue) -> String {
+    match v {
+        ArgValue::Selector(sel) => print_selector(sel),
+        ArgValue::Tiers(ts) if ts.len() == 1 => ts[0].clone(),
+        ArgValue::Tiers(ts) => format!("[{}]", ts.join(", ")),
+        ArgValue::Quantity(q) => print_quantity(q),
+        ArgValue::Str(s) => format!("\"{s}\""),
+    }
+}
+
+fn print_selector(sel: &SelectorExpr) -> String {
+    match sel {
+        SelectorExpr::InsertObject => "insert.object".into(),
+        SelectorExpr::LocationEq(t) => format!("object.location == {t}"),
+        SelectorExpr::DirtyEq(b) => format!("object.dirty == {b}"),
+        SelectorExpr::TagEq(s) => format!("object.tag == \"{s}\""),
+        SelectorExpr::Oldest(t) => format!("{t}.oldest"),
+        SelectorExpr::Newest(t) => format!("{t}.newest"),
+        SelectorExpr::Named(k) => format!("\"{k}\""),
+        SelectorExpr::And(a, b) => format!("{} && {}", print_selector(a), print_selector(b)),
+        SelectorExpr::Not(inner) => format!("!{}", print_selector(inner)),
+    }
+}
+
+fn print_quantity(q: &Quantity) -> String {
+    const KIB: u64 = 1024;
+    match q {
+        Quantity::Size(n) => {
+            // Choose the largest unit that divides exactly.
+            if *n >= KIB * KIB * KIB * KIB && n % (KIB * KIB * KIB * KIB) == 0 {
+                format!("{}T", n / (KIB * KIB * KIB * KIB))
+            } else if *n >= KIB * KIB * KIB && n % (KIB * KIB * KIB) == 0 {
+                format!("{}G", n / (KIB * KIB * KIB))
+            } else if *n >= KIB * KIB && n % (KIB * KIB) == 0 {
+                format!("{}M", n / (KIB * KIB))
+            } else if *n >= KIB && n % KIB == 0 {
+                format!("{}K", n / KIB)
+            } else {
+                // No exact unit: bytes have no literal; round up to K.
+                format!("{}K", n.div_ceil(KIB))
+            }
+        }
+        Quantity::Duration(d) => {
+            let ns = d.as_nanos();
+            if ns >= 3_600_000_000_000 && ns % 3_600_000_000_000 == 0 {
+                format!("{}h", ns / 3_600_000_000_000)
+            } else if ns >= 60_000_000_000 && ns % 60_000_000_000 == 0 {
+                format!("{}min", ns / 60_000_000_000)
+            } else if ns >= 1_000_000_000 && ns % 1_000_000_000 == 0 {
+                format!("{}s", ns / 1_000_000_000)
+            } else {
+                format!("{}ms", ns / 1_000_000)
+            }
+        }
+        Quantity::Percent(p) => format!("{}%", *p as u64),
+        Quantity::Rate(r) => {
+            if *r >= 1_000_000.0 && (*r as u64).is_multiple_of(1_000_000) {
+                format!("{}MB/s", (*r as u64) / 1_000_000)
+            } else if *r >= 1000.0 && (*r as u64).is_multiple_of(1000) {
+                format!("{}KB/s", (*r as u64) / 1000)
+            } else {
+                format!("{}B/s", *r as u64)
+            }
+        }
+        Quantity::Int(n) => n.to_string(),
+        Quantity::Param(p) => p.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use proptest::prelude::*;
+
+    #[test]
+    fn prints_figure_3_shape() {
+        let src = r#"
+Tiera LowLatencyInstance(time t) {
+    tier1: { name: Memcached, size: 5G };
+    tier2: { name: EBS, size: 5G };
+    event(insert.into) : response {
+        insert.object.dirty = true;
+        store(what: insert.object, to: tier1);
+    }
+    event(time=t) : response {
+        copy(what: object.location == tier1 && object.dirty == true,
+             to: tier2);
+    }
+}
+"#;
+        let spec = parse(src).unwrap();
+        let printed = print_spec(&spec);
+        assert!(printed.contains("Tiera LowLatencyInstance(time t) {"));
+        assert!(printed.contains("tier1: { name: Memcached, size: 5G };"));
+        assert!(printed.contains("event(insert.into) : response {"));
+        assert!(printed.contains("event(time=t) : response {"));
+        assert!(printed.contains("copy(what: object.location == tier1 && object.dirty == true, to: tier2);"));
+    }
+
+    #[test]
+    fn roundtrip_paper_figures() {
+        for src in [
+            r#"Tiera A() { tier1: { name: Memcached, size: 200M }; }"#,
+            r#"Tiera B(time t, percent p) {
+                tier1: { name: Memcached, size: 1G };
+                tier2: { name: S3, size: 16G };
+                event(tier1.filled == 75%) : response {
+                    grow(what: tier1, increment: p);
+                }
+                event(time=t) : response {
+                    copy(what: object.location == tier1, to: tier2, bandwidth: 40KB/s);
+                }
+            }"#,
+            r#"Tiera C() {
+                tier1: { name: Memcached, size: 16K };
+                tier2: { name: EBS, size: 8M };
+                event(insert.into == tier1) : response {
+                    if (tier1.filled) {
+                        move(what: tier1.oldest, to: tier2);
+                    }
+                    store(what: insert.object, to: [tier1, tier2]);
+                }
+            }"#,
+        ] {
+            let ast = parse(src).expect("parses");
+            let printed = print_spec(&ast);
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("printed spec must reparse: {e}\n{printed}"));
+            assert_eq!(reparsed, ast, "roundtrip identity\n{printed}");
+        }
+    }
+
+    // ---- property: parse(print(ast)) == ast for generated ASTs ----
+
+    fn arb_ident() -> impl Strategy<Value = String> {
+        "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+            !matches!(
+                s.as_str(),
+                "event" | "response" | "if" | "time" | "insert" | "delete" | "object" | "name"
+                    | "size" | "true" | "false"
+            )
+        })
+    }
+
+    fn arb_quantity() -> impl Strategy<Value = Quantity> {
+        prop_oneof![
+            (1u64..1000).prop_map(|n| Quantity::Size(n * 1024)),
+            (1u64..1000).prop_map(|n| Quantity::Size(n * 1024 * 1024)),
+            (1u64..120).prop_map(|n| Quantity::Duration(tiera_sim::SimDuration::from_secs(n))),
+            (1u64..100).prop_map(|n| Quantity::Percent(n as f64)),
+            (1u64..1000).prop_map(|n| Quantity::Rate(n as f64 * 1000.0)),
+        ]
+    }
+
+    fn arb_selector() -> impl Strategy<Value = SelectorExpr> {
+        let leaf = prop_oneof![
+            Just(SelectorExpr::InsertObject),
+            arb_ident().prop_map(SelectorExpr::LocationEq),
+            Just(SelectorExpr::DirtyEq(true)),
+            Just(SelectorExpr::DirtyEq(false)),
+            arb_ident().prop_map(SelectorExpr::Oldest),
+            arb_ident().prop_map(SelectorExpr::Newest),
+            "[a-z]{1,6}".prop_map(SelectorExpr::TagEq),
+        ];
+        leaf.prop_recursive(2, 4, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| SelectorExpr::And(Box::new(a), Box::new(b)))
+        })
+    }
+
+    fn arb_call() -> impl Strategy<Value = Call> {
+        (arb_selector(), arb_ident(), prop_oneof![Just("store"), Just("copy"), Just("move")])
+            .prop_map(|(sel, tier, name)| Call {
+                name: name.to_string(),
+                args: vec![
+                    ("what".into(), ArgValue::Selector(sel)),
+                    ("to".into(), ArgValue::Tiers(vec![tier])),
+                ],
+                line: 0,
+            })
+    }
+
+    fn arb_spec() -> impl Strategy<Value = Spec> {
+        (
+            "[A-Z][A-Za-z0-9]{0,10}",
+            proptest::collection::vec((arb_ident(), arb_ident(), arb_quantity()), 1..4),
+            proptest::collection::vec(arb_call(), 0..4),
+        )
+            .prop_map(|(name, tiers, calls)| {
+                let tiers: Vec<TierDecl> = tiers
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (_, ty, size))| TierDecl {
+                        label: format!("tier{i}"),
+                        type_name: ty,
+                        // Tier sizes must be sizes, not durations/percents.
+                        size: match size {
+                            Quantity::Size(n) => Quantity::Size(n),
+                            _ => Quantity::Size(1024 * 1024),
+                        },
+                    })
+                    .collect();
+                let events: Vec<EventDecl> = calls
+                    .into_iter()
+                    .map(|c| EventDecl {
+                        event: EventExpr::Insert { tier: None },
+                        body: vec![Stmt::Call(c)],
+                        line: 0,
+                    })
+                    .collect();
+                Spec {
+                    name,
+                    params: vec![],
+                    tiers,
+                    events,
+                }
+            })
+    }
+
+    /// Flattens `&&` chains and rebuilds them left-associated (the
+    /// parser's shape); `a && b && c` has one textual form but two tree
+    /// shapes.
+    fn normalize_selector(sel: SelectorExpr) -> SelectorExpr {
+        fn flatten(sel: SelectorExpr, out: &mut Vec<SelectorExpr>) {
+            match sel {
+                SelectorExpr::And(a, b) => {
+                    flatten(*a, out);
+                    flatten(*b, out);
+                }
+                leaf => out.push(leaf),
+            }
+        }
+        let mut leaves = Vec::new();
+        flatten(sel, &mut leaves);
+        let mut it = leaves.into_iter();
+        let first = it.next().expect("at least one leaf");
+        it.fold(first, |acc, next| SelectorExpr::And(Box::new(acc), Box::new(next)))
+    }
+
+    /// Strips source-line info and normalizes selector association so
+    /// structural equality ignores position and tree shape.
+    fn strip_lines(mut spec: Spec) -> Spec {
+        for e in &mut spec.events {
+            e.line = 0;
+            for s in &mut e.body {
+                if let Stmt::Call(c) = s {
+                    c.line = 0;
+                    for (_, v) in &mut c.args {
+                        if let ArgValue::Selector(sel) = v {
+                            *sel = normalize_selector(sel.clone());
+                        }
+                    }
+                }
+            }
+        }
+        spec
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_print_parse_roundtrip(spec in arb_spec()) {
+            let printed = print_spec(&spec);
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("printed spec must reparse: {e}\n{printed}"));
+            prop_assert_eq!(strip_lines(reparsed), strip_lines(spec), "{}", printed);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! # Tiera — flexible multi-tiered cloud storage instances
+//!
+//! A Rust reproduction of *"Tiera: Towards Flexible Multi-Tiered Cloud
+//! Storage Instances"* (Raghavan, Chandra, Weissman — ACM Middleware 2014).
+//!
+//! Tiera is a lightweight middleware that encapsulates multiple cloud
+//! storage tiers (memory cache, block store, object store, ephemeral disk)
+//! behind one PUT/GET object API, and manages the life cycle of stored data
+//! with programmable **event → response** policies that can be replaced at
+//! runtime.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`core`] | `tiera-core` | object model, tiers, events, responses, instances |
+//! | [`tiers`] | `tiera-tiers` | simulated Memcached / EBS / S3 / ephemeral tiers |
+//! | [`spec`] | `tiera-spec` | the instance-specification DSL (paper Figs 3–6) |
+//! | [`fs`] | `tiera-fs` | POSIX-style chunking file layer (the FUSE driver) |
+//! | [`db`] | `tiera-db` | minidb — the evaluation's MySQL stand-in |
+//! | [`rpc`] | `tiera-rpc` | framed TCP server/client (the Thrift server) |
+//! | [`workloads`] | `tiera-workloads` | sysbench / YCSB / TPC-W / fio drivers |
+//! | [`sim`] | `tiera-sim` | virtual time, latency/cost models, failure injection |
+//! | [`codec`] | `tiera-codec` | SHA-256, CRC-32, ChaCha20, LZSS |
+//! | [`metastore`] | `tiera-metastore` | embedded log-structured metadata store |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tiera::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // Build the paper's Figure 3 LowLatencyInstance from its spec text.
+//! let env = SimEnv::new(42);
+//! let catalog = tiera::tiers::default_catalog(&env);
+//! let spec = tiera::spec::parse(r#"
+//!     Tiera LowLatencyInstance(time t) {
+//!         tier1: { name: Memcached, size: 64M };
+//!         tier2: { name: EBS, size: 64M };
+//!         event(insert.into) : response {
+//!             store(what: insert.object, to: tier1);
+//!         }
+//!         event(time=t) : response {
+//!             copy(what: object.location == tier1 && object.dirty == true,
+//!                  to: tier2);
+//!         }
+//!     }
+//! "#).unwrap();
+//! let instance = tiera::spec::Compiler::new(&catalog, env.clone())
+//!     .bind("t", tiera::spec::ParamValue::Duration(SimDuration::from_secs(30)))
+//!     .compile(&spec)
+//!     .unwrap();
+//!
+//! instance.put("hello", &b"world"[..], SimTime::ZERO).unwrap();
+//! let (data, receipt) = instance.get("hello", SimTime::from_millis(1)).unwrap();
+//! assert_eq!(&data[..], b"world");
+//! assert_eq!(receipt.served_by, "tier1"); // served from the cache tier
+//!
+//! // The write-back policy persists dirty data on the timer.
+//! instance.pump(SimTime::from_secs(30)).unwrap();
+//! let meta = instance.registry().get(&"hello".into()).unwrap();
+//! assert!(meta.in_tier("tier2") && !meta.dirty);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tiera_codec as codec;
+pub use tiera_core as core;
+pub use tiera_db as db;
+pub use tiera_fs as fs;
+pub use tiera_metastore as metastore;
+pub use tiera_rpc as rpc;
+pub use tiera_sim as sim;
+pub use tiera_spec as spec;
+pub use tiera_tiers as tiers;
+pub use tiera_workloads as workloads;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use tiera_core::prelude::*;
+    pub use tiera_sim::{SimDuration, SimEnv, SimTime};
+}

@@ -1,0 +1,37 @@
+//! # tiera-workloads — the evaluation's benchmark clients
+//!
+//! The paper generates client load with "a combination of benchmarking
+//! tools: sysbench, TPC-W, Yahoo Cloud Serving Benchmark (YCSB), fio, and
+//! our own benchmarks" (§4). This crate re-implements each driver against
+//! the simulated stack:
+//!
+//! * [`dist`] — key-choosing distributions: uniform, YCSB zipfian(θ),
+//!   sysbench's *special* distribution (p % of rows receive 80 % of
+//!   accesses), and latest.
+//! * [`oltp`] — sysbench-style OLTP transactions over [`tiera_db::MiniDb`]
+//!   (point selects + updates, read-only and read-write mixes, N client
+//!   threads).
+//! * [`ycsb`] — YCSB-style PUT/GET load directly against a Tiera instance.
+//! * [`tpcw`] — TPC-W-style emulated browsers mixing static-content fetches
+//!   with database interactions, reporting WIPS.
+//! * [`fio`] — fio-style file readers over [`tiera_fs::TieraFs`].
+//!
+//! All drivers are closed-loop in *virtual time*: each client thread
+//! accumulates the latencies its operations were charged, and throughput is
+//! `completed ops ÷ max(per-thread virtual time)`. Runs are deterministic
+//! for a given `SimEnv` seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod fio;
+pub mod oltp;
+pub mod pacer;
+pub mod report;
+pub mod tpcw;
+pub mod ycsb;
+
+pub use dist::KeyChooser;
+pub use pacer::Pacer;
+pub use report::LoadReport;

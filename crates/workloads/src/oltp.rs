@@ -1,0 +1,241 @@
+//! sysbench-style OLTP over minidb.
+//!
+//! Paper §4.1.1: "We generated OLTP workload using sysbench... The OLTP
+//! workload followed the special distribution, that is a certain percentage
+//! of the data is requested 80% of the time. We varied this percentage of
+//! data requested from 1% to 30%. We also varied the concurrency of the
+//! workload."
+//!
+//! A transaction mirrors sysbench's OLTP mix: `point_selects` point reads,
+//! plus (read-write mode) `updates` row updates, committed with a journal
+//! append. Read-only transactions still journal (the MySQL behaviour the
+//! MemcachedEBS-vs-Replicated comparison hinges on).
+
+use std::sync::Arc;
+
+use tiera_db::{MiniDb, Op};
+use tiera_sim::{SimTime, VirtualClock};
+
+use crate::dist::KeyChooser;
+use crate::pacer::Pacer;
+use crate::report::LoadReport;
+
+/// OLTP mix configuration.
+#[derive(Debug, Clone)]
+pub struct OltpConfig {
+    /// Point selects per transaction (sysbench default 10).
+    pub point_selects: u32,
+    /// Updates per transaction in read-write mode (sysbench ~4).
+    pub updates: u32,
+    /// Read-only (skip updates)?
+    pub read_only: bool,
+    /// Key distribution over the table's rows.
+    pub dist: KeyChooser,
+    /// Client threads (the paper plots 8).
+    pub threads: usize,
+    /// Transactions per thread.
+    pub txns_per_thread: u64,
+    /// Pump the instance every this many transactions (thread 0).
+    pub pump_every: u64,
+    /// Distinguishes RNG streams between runs over the same database
+    /// (e.g. warm-up vs measurement) — otherwise a second run would replay
+    /// the first run's exact key sequence into warmed caches.
+    pub seed_tag: String,
+}
+
+impl OltpConfig {
+    /// The paper's configuration: special distribution with `pct` hot
+    /// fraction over `rows` rows, 8 threads.
+    pub fn paper(rows: u64, pct: f64, read_only: bool) -> Self {
+        Self {
+            point_selects: 10,
+            updates: 4,
+            read_only,
+            dist: KeyChooser::special(rows, pct),
+            threads: 8,
+            txns_per_thread: 100,
+            pump_every: 8,
+            seed_tag: String::new(),
+        }
+    }
+}
+
+/// Runs the OLTP load; `pump` lets the caller drive the Tiera instance's
+/// timer/background machinery as virtual time advances.
+pub fn run(db: &Arc<MiniDb>, cfg: &OltpConfig, start: SimTime) -> LoadReport {
+    let clock: Arc<VirtualClock> = Arc::clone(db.fs().instance().env().clock());
+    let pacer = Arc::new(Pacer::with_default_window(cfg.threads));
+    let mut handles = Vec::new();
+    for thread_id in 0..cfg.threads {
+        let db = Arc::clone(db);
+        let clock = Arc::clone(&clock);
+        let pacer = Arc::clone(&pacer);
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = db
+                .fs()
+                .instance()
+                .env()
+                .rng_for(&format!("oltp-thread-{thread_id}-{}", cfg.seed_tag));
+            let mut report = LoadReport::new();
+            let mut t = start;
+            let mut ops: Vec<Op> = Vec::with_capacity((cfg.point_selects + cfg.updates) as usize);
+            for txn in 0..cfg.txns_per_thread {
+                ops.clear();
+                for _ in 0..cfg.point_selects {
+                    ops.push(Op::Select(cfg.dist.next(&mut rng)));
+                }
+                if !cfg.read_only {
+                    for _ in 0..cfg.updates {
+                        ops.push(Op::Update(cfg.dist.next(&mut rng)));
+                    }
+                }
+                match db.run_transaction(&ops, t) {
+                    Ok(receipt) => {
+                        t += receipt.latency;
+                        report.ops += 1;
+                        report.writes.record(receipt.latency); // txn latency
+                    }
+                    Err(e) => {
+                        if report.failures == 0 && std::env::var_os("TIERA_DEBUG_ERRORS").is_some() {
+                            eprintln!("oltp txn error: {e}");
+                        }
+                        report.failures += 1;
+                    }
+                }
+                clock.advance_to(t);
+                pacer.advance(thread_id, t);
+                if thread_id == 0 && txn % cfg.pump_every == 0 {
+                    let _ = db.fs().instance().pump(clock.now());
+                }
+            }
+            pacer.finish(thread_id);
+            report.finish(start, t);
+            report
+        }));
+    }
+    let mut total = LoadReport::new();
+    for h in handles {
+        total.merge(&h.join().expect("oltp worker panicked"));
+    }
+    let _ = db.fs().instance().pump(clock.now());
+    total
+}
+
+/// Runs the same mix against the MySQL-Memory-engine model.
+pub fn run_memory_engine(
+    engine: &Arc<tiera_db::MemoryEngine>,
+    cfg: &OltpConfig,
+    rows: u64,
+    start: SimTime,
+    seed: u64,
+) -> LoadReport {
+    let pacer = Arc::new(Pacer::with_default_window(cfg.threads));
+    let mut handles = Vec::new();
+    for thread_id in 0..cfg.threads {
+        let engine = Arc::clone(engine);
+        let pacer = Arc::clone(&pacer);
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = tiera_sim::SimRng::new(seed ^ (thread_id as u64) << 32);
+            let mut report = LoadReport::new();
+            let mut t = start;
+            for _ in 0..cfg.txns_per_thread {
+                let mut ops = Vec::new();
+                for _ in 0..cfg.point_selects {
+                    ops.push(Op::Select(rng.next_below(rows)));
+                }
+                if !cfg.read_only {
+                    for _ in 0..cfg.updates {
+                        ops.push(Op::Update(rng.next_below(rows)));
+                    }
+                }
+                match engine.run_batch(&ops, t) {
+                    Ok(receipt) => {
+                        t += receipt.latency;
+                        report.ops += 1;
+                        report.writes.record(receipt.latency);
+                    }
+                    Err(_) => report.failures += 1,
+                }
+                pacer.advance(thread_id, t);
+            }
+            pacer.finish(thread_id);
+            report.finish(start, t);
+            report
+        }));
+    }
+    let mut total = LoadReport::new();
+    for h in handles {
+        total.merge(&h.join().expect("memory-engine worker panicked"));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiera_core::prelude::*;
+    use tiera_db::DbConfig;
+    use tiera_fs::TieraFs;
+    use tiera_sim::SimEnv;
+
+    fn db(rows: u64) -> Arc<MiniDb> {
+        let inst = InstanceBuilder::new("oltp", SimEnv::new(31))
+            .tier(MemTier::with_capacity("t1", 1 << 30))
+            .build()
+            .unwrap();
+        let fs = Arc::new(TieraFs::new(inst));
+        let cfg = DbConfig {
+            rows,
+            buffer_pool_pages: 64,
+            ..DbConfig::default()
+        };
+        let (db, _) = MiniDb::create(fs, cfg, SimTime::ZERO).unwrap();
+        Arc::new(db)
+    }
+
+    #[test]
+    fn read_only_run_completes() {
+        let db = db(2000);
+        let mut cfg = OltpConfig::paper(2000, 0.10, true);
+        cfg.threads = 2;
+        cfg.txns_per_thread = 50;
+        let report = run(&db, &cfg, SimTime::ZERO);
+        assert_eq!(report.ops, 100);
+        assert_eq!(report.failures, 0);
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn read_write_run_is_slower_than_read_only() {
+        let rows = 2000;
+        let mk = || db(rows);
+        let mut ro = OltpConfig::paper(rows, 0.10, true);
+        ro.threads = 2;
+        ro.txns_per_thread = 50;
+        let mut rw = ro.clone();
+        rw.read_only = false;
+        let ro_report = run(&mk(), &ro, SimTime::ZERO);
+        let rw_report = run(&mk(), &rw, SimTime::ZERO);
+        assert!(
+            rw_report.writes.mean() > ro_report.writes.mean(),
+            "rw {:?} vs ro {:?}",
+            rw_report.writes.mean(),
+            ro_report.writes.mean()
+        );
+    }
+
+    #[test]
+    fn memory_engine_collapses_under_concurrency() {
+        let engine = Arc::new(tiera_db::MemoryEngine::new(1000, 200));
+        let mut cfg = OltpConfig::paper(1000, 0.10, false);
+        cfg.threads = 8;
+        cfg.txns_per_thread = 5;
+        let report = run_memory_engine(&engine, &cfg, 1000, SimTime::ZERO, 7);
+        assert_eq!(report.ops, 40);
+        // 14 statements × 60 ms each ≈ 840 ms per txn, fully serialized
+        // across 8 threads → well under 2 TPS.
+        assert!(report.throughput() < 2.0, "tps={}", report.throughput());
+    }
+}

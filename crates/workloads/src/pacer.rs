@@ -1,0 +1,116 @@
+//! Virtual-time pacing for multi-threaded closed-loop drivers.
+//!
+//! Simulated shared resources (`SerialResource`, `SharedBandwidth`) grant
+//! FIFO **in call order**. That is only faithful if callers arrive in
+//! roughly virtual-time order — but unsynchronized worker threads can race
+//! arbitrarily far ahead of each other in *real* time, poisoning the queues
+//! (a thread that finishes its whole run first would leave `next_free` far
+//! in the virtual future for everyone else).
+//!
+//! [`Pacer`] bounds the skew: each worker publishes its local virtual time
+//! and yields while it is more than a small window ahead of the slowest
+//! worker. The result approximates a discrete-event execution while keeping
+//! the drivers embarrassingly parallel.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Keeps worker threads' virtual clocks within `window` of each other.
+pub struct Pacer {
+    times_ns: Vec<AtomicU64>,
+    window_ns: u64,
+}
+
+impl Pacer {
+    /// A pacer for `threads` workers with the given skew window.
+    pub fn new(threads: usize, window: tiera_sim::SimDuration) -> Self {
+        Self {
+            times_ns: (0..threads.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            window_ns: window.as_nanos().max(1),
+        }
+    }
+
+    /// Default window: 20 ms of virtual time.
+    pub fn with_default_window(threads: usize) -> Self {
+        Self::new(threads, tiera_sim::SimDuration::from_millis(20))
+    }
+
+    fn min_time(&self) -> u64 {
+        self.times_ns
+            .iter()
+            .map(|t| t.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Publishes `thread_id`'s local time and blocks (yielding) while it is
+    /// more than the window ahead of the slowest active worker.
+    pub fn advance(&self, thread_id: usize, now: tiera_sim::SimTime) {
+        let ns = now.as_nanos();
+        self.times_ns[thread_id].store(ns, Ordering::Release);
+        while ns > self.min_time().saturating_add(self.window_ns) {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Marks a worker as finished so it never holds others back.
+    pub fn finish(&self, thread_id: usize) {
+        self.times_ns[thread_id].store(u64::MAX, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tiera_sim::{SimDuration, SimTime};
+
+    #[test]
+    fn single_thread_never_blocks() {
+        let p = Pacer::new(1, SimDuration::from_millis(1));
+        p.advance(0, SimTime::from_secs(100));
+        p.finish(0);
+    }
+
+    #[test]
+    fn workers_stay_within_window() {
+        let p = Arc::new(Pacer::new(4, SimDuration::from_millis(10)));
+        let max_seen = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for id in 0..4usize {
+            let p = Arc::clone(&p);
+            let max_seen = Arc::clone(&max_seen);
+            handles.push(std::thread::spawn(move || {
+                let mut t = SimTime::ZERO;
+                // Thread 0 is slow (1 ms steps); others try to sprint.
+                let step = if id == 0 { 1 } else { 7 };
+                for _ in 0..200 {
+                    t += SimDuration::from_millis(step);
+                    p.advance(id, t);
+                    // When a fast thread proceeds, it must not be more than
+                    // window ahead of the published minimum.
+                    let min = p.min_time();
+                    let skew = t.as_nanos().saturating_sub(min);
+                    max_seen.fetch_max(skew, Ordering::Relaxed);
+                }
+                p.finish(id);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Window 10 ms + one step (7 ms) slack.
+        assert!(
+            max_seen.load(Ordering::Relaxed) <= SimDuration::from_millis(18).as_nanos(),
+            "skew {}",
+            max_seen.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn finished_workers_do_not_block_others() {
+        let p = Arc::new(Pacer::new(2, SimDuration::from_millis(1)));
+        p.finish(1);
+        // Worker 0 can run to any time without yielding forever.
+        p.advance(0, SimTime::from_secs(1000));
+    }
+}

@@ -1,0 +1,101 @@
+//! Load-run reports shared by all drivers.
+
+use tiera_sim::{Histogram, SimDuration, SimTime};
+
+/// Outcome of a closed-loop load run.
+pub struct LoadReport {
+    /// Completed operations (or transactions / interactions).
+    pub ops: u64,
+    /// Failed operations (timeouts during outages, etc.).
+    pub failures: u64,
+    /// Virtual elapsed time: max over client threads.
+    pub elapsed: SimDuration,
+    /// Read-latency histogram.
+    pub reads: Histogram,
+    /// Write-latency histogram (or transaction latency for OLTP).
+    pub writes: Histogram,
+}
+
+impl LoadReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self {
+            ops: 0,
+            failures: 0,
+            elapsed: SimDuration::ZERO,
+            reads: Histogram::new(),
+            writes: Histogram::new(),
+        }
+    }
+
+    /// Throughput in operations per virtual second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+
+    /// Merges a per-thread report into this aggregate. Elapsed takes the
+    /// max (closed-loop: the run lasts until the slowest thread finishes).
+    pub fn merge(&mut self, other: &LoadReport) {
+        self.ops += other.ops;
+        self.failures += other.failures;
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.reads.merge(&other.reads);
+        self.writes.merge(&other.writes);
+    }
+
+    /// Convenience for per-thread accounting: elapsed from a start time.
+    pub fn finish(&mut self, start: SimTime, end: SimTime) {
+        self.elapsed = end - start;
+    }
+}
+
+impl Default for LoadReport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoadReport")
+            .field("ops", &self.ops)
+            .field("failures", &self.failures)
+            .field("elapsed", &self.elapsed)
+            .field("throughput", &self.throughput())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_math() {
+        let mut r = LoadReport::new();
+        r.ops = 100;
+        r.elapsed = SimDuration::from_secs(10);
+        assert!((r.throughput() - 10.0).abs() < 1e-9);
+        assert_eq!(LoadReport::new().throughput(), 0.0);
+    }
+
+    #[test]
+    fn merge_takes_max_elapsed_and_sums_ops() {
+        let mut a = LoadReport::new();
+        a.ops = 10;
+        a.elapsed = SimDuration::from_secs(4);
+        let mut b = LoadReport::new();
+        b.ops = 20;
+        b.failures = 1;
+        b.elapsed = SimDuration::from_secs(6);
+        a.merge(&b);
+        assert_eq!(a.ops, 30);
+        assert_eq!(a.failures, 1);
+        assert_eq!(a.elapsed, SimDuration::from_secs(6));
+    }
+}

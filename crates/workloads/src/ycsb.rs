@@ -1,0 +1,204 @@
+//! YCSB-style load against a Tiera instance.
+//!
+//! Drives PUT/GET operations with configurable read proportion, value size,
+//! and key distribution, from N closed-loop client threads. Used by the
+//! experiments behind Figures 11, 13, 15, 17, and 18.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use tiera_core::instance::Instance;
+use tiera_sim::{SimTime, VirtualClock};
+
+use crate::dist::KeyChooser;
+use crate::pacer::Pacer;
+use crate::report::LoadReport;
+
+/// YCSB-style workload configuration.
+#[derive(Debug, Clone)]
+pub struct YcsbConfig {
+    /// Number of records preloaded and addressed.
+    pub records: u64,
+    /// Value size in bytes (the paper uses 4 KB).
+    pub value_size: usize,
+    /// Fraction of operations that are reads (1.0 = read-only, 0.0 =
+    /// write-only).
+    pub read_proportion: f64,
+    /// Key distribution.
+    pub dist: KeyChooser,
+    /// Client threads.
+    pub threads: usize,
+    /// Operations per thread.
+    pub ops_per_thread: u64,
+    /// Pump the instance's timers/background queue every this many ops
+    /// (thread 0 only).
+    pub pump_every: u64,
+    /// Distinguishes RNG streams between runs over the same instance
+    /// (warm-up vs measurement).
+    pub seed_tag: String,
+}
+
+impl YcsbConfig {
+    /// A 4 KB, read-heavy default over `records` keys.
+    pub fn new(records: u64) -> Self {
+        Self {
+            records,
+            value_size: 4096,
+            read_proportion: 0.5,
+            dist: KeyChooser::uniform(records),
+            threads: 1,
+            ops_per_thread: 1000,
+            pump_every: 16,
+            seed_tag: String::new(),
+        }
+    }
+}
+
+/// Preloads `records` values into the instance, returning the virtual time
+/// after loading (load latency excluded from measurements).
+pub fn preload(instance: &Arc<Instance>, cfg: &YcsbConfig, start: SimTime) -> SimTime {
+    let mut t = start;
+    for i in 0..cfg.records {
+        let key = record_key(i);
+        let value = record_value(i, cfg.value_size);
+        match instance.put(key.as_str(), value, t) {
+            Ok(r) => t += r.latency,
+            Err(_) => break,
+        }
+        // Keep background machinery from backing up during the load.
+        if i % 256 == 0 {
+            let _ = instance.pump(t);
+        }
+    }
+    let _ = instance.pump(t);
+    t
+}
+
+/// Record key for index `i`.
+pub fn record_key(i: u64) -> String {
+    format!("user{i:012}")
+}
+
+/// Deterministic record payload.
+pub fn record_value(i: u64, size: usize) -> Bytes {
+    let mut v = vec![0u8; size];
+    let seed = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for (j, b) in v.iter_mut().enumerate() {
+        *b = ((seed as usize).wrapping_add(j * 31) % 251) as u8;
+    }
+    Bytes::from(v)
+}
+
+/// Runs the workload from `cfg.threads` closed-loop clients starting at
+/// virtual time `start`.
+pub fn run(instance: &Arc<Instance>, cfg: &YcsbConfig, start: SimTime) -> LoadReport {
+    let clock: Arc<VirtualClock> = Arc::clone(instance.env().clock());
+    let pacer = Arc::new(Pacer::with_default_window(cfg.threads));
+    let mut handles = Vec::new();
+    for thread_id in 0..cfg.threads {
+        let instance = Arc::clone(instance);
+        let clock = Arc::clone(&clock);
+        let pacer = Arc::clone(&pacer);
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = instance
+                .env()
+                .rng_for(&format!("ycsb-thread-{thread_id}-{}", cfg.seed_tag));
+            let mut report = LoadReport::new();
+            let mut t = start;
+            for op in 0..cfg.ops_per_thread {
+                let key_idx = cfg.dist.next(&mut rng);
+                let key = record_key(key_idx);
+                if rng.chance(cfg.read_proportion) {
+                    match instance.get(key.as_str(), t) {
+                        Ok((_, receipt)) => {
+                            t += receipt.latency;
+                            report.reads.record(receipt.latency);
+                            report.ops += 1;
+                        }
+                        Err(_) => report.failures += 1,
+                    }
+                } else {
+                    let value = record_value(key_idx, cfg.value_size);
+                    match instance.put(key.as_str(), value, t) {
+                        Ok(receipt) => {
+                            t += receipt.latency;
+                            report.writes.record(receipt.latency);
+                            report.ops += 1;
+                        }
+                        Err(_) => report.failures += 1,
+                    }
+                }
+                clock.advance_to(t);
+                pacer.advance(thread_id, t);
+                if thread_id == 0 && op % cfg.pump_every == 0 {
+                    let _ = instance.pump(clock.now());
+                }
+            }
+            pacer.finish(thread_id);
+            report.finish(start, t);
+            report
+        }));
+    }
+    let mut total = LoadReport::new();
+    for h in handles {
+        total.merge(&h.join().expect("ycsb worker panicked"));
+    }
+    let _ = instance.pump(clock.now());
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiera_core::prelude::*;
+    use tiera_sim::SimEnv;
+
+    fn instance() -> Arc<Instance> {
+        InstanceBuilder::new("ycsb", SimEnv::new(21))
+            .tier(MemTier::with_capacity("t1", 1 << 30))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn preload_then_read_only_run() {
+        let inst = instance();
+        let mut cfg = YcsbConfig::new(100);
+        cfg.read_proportion = 1.0;
+        cfg.ops_per_thread = 500;
+        let t = preload(&inst, &cfg, SimTime::ZERO);
+        let report = run(&inst, &cfg, t);
+        assert_eq!(report.ops, 500);
+        assert_eq!(report.failures, 0);
+        assert_eq!(report.reads.count(), 500);
+        assert_eq!(report.writes.count(), 0);
+    }
+
+    #[test]
+    fn mixed_run_multithreaded() {
+        let inst = instance();
+        let mut cfg = YcsbConfig::new(200);
+        cfg.read_proportion = 0.5;
+        cfg.threads = 4;
+        cfg.ops_per_thread = 250;
+        let t = preload(&inst, &cfg, SimTime::ZERO);
+        let report = run(&inst, &cfg, t);
+        assert_eq!(report.ops, 1000);
+        assert!(report.reads.count() > 300);
+        assert!(report.writes.count() > 300);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run_once = || {
+            let inst = instance();
+            let mut cfg = YcsbConfig::new(50);
+            cfg.ops_per_thread = 200;
+            let t = preload(&inst, &cfg, SimTime::ZERO);
+            let r = run(&inst, &cfg, t);
+            (r.ops, r.reads.count(), r.writes.count())
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}
