@@ -1,4 +1,4 @@
-//! Figure 18 under criterion: the real-CPU cost of the control layer.
+//! Figure 18 under the tiera-support bench harness: the real-CPU cost of the control layer.
 //!
 //! Benchmarks the same write-through instance with the control layer
 //! enabled (action event evaluated on every PUT, placement decided by the
@@ -8,7 +8,8 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tiera_support::bench::Criterion;
+use tiera_support::{bench_group, bench_main};
 
 use tiera_core::prelude::*;
 use tiera_sim::SimEnv;
@@ -32,7 +33,7 @@ fn build(control_layer: bool) -> Arc<Instance> {
 }
 
 fn bench_control_overhead(c: &mut Criterion) {
-    let data = bytes::Bytes::from(vec![0u8; 4096]);
+    let data = tiera_support::Bytes::from(vec![0u8; 4096]);
     let mut group = c.benchmark_group("control_layer");
     for (label, enabled) in [("without", false), ("with", true)] {
         let instance = build(enabled);
@@ -53,9 +54,9 @@ fn bench_control_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
     targets = bench_control_overhead
 }
-criterion_main!(benches);
+bench_main!(benches);

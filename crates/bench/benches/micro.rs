@@ -1,10 +1,11 @@
-//! Criterion micro-benchmarks: the real-CPU costs of the middleware's
+//! Micro-benchmarks (tiera-support bench harness): the real-CPU costs of the middleware's
 //! building blocks (the virtual-latency experiments live in the
 //! `experiments` binary; these measure actual compute).
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use tiera_support::bench::{BatchSize, Criterion, Throughput};
+use tiera_support::{bench_group, bench_main};
 
 use tiera_core::prelude::*;
 use tiera_sim::{Histogram, SimEnv};
@@ -15,7 +16,7 @@ const MB: u64 = 1024 * 1024;
 fn bench_tier_ops(c: &mut Criterion) {
     let env = SimEnv::new(1);
     let tier = Arc::new(MemoryTier::same_az("mem", 512 * MB, &env));
-    let data = bytes::Bytes::from(vec![0u8; 4096]);
+    let data = tiera_support::Bytes::from(vec![0u8; 4096]);
     let mut group = c.benchmark_group("tier");
     group.throughput(Throughput::Bytes(4096));
     let mut i = 0u64;
@@ -47,7 +48,7 @@ fn bench_instance_dispatch(c: &mut Criterion) {
         )
         .build()
         .unwrap();
-    let data = bytes::Bytes::from(vec![0u8; 4096]);
+    let data = tiera_support::Bytes::from(vec![0u8; 4096]);
     let mut group = c.benchmark_group("instance");
     let mut i = 0u64;
     group.bench_function("put_with_policy", |b| {
@@ -141,10 +142,10 @@ fn bench_histogram(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_tier_ops, bench_instance_dispatch, bench_spec_parse,
               bench_codecs, bench_metastore, bench_histogram
 }
-criterion_main!(benches);
+bench_main!(benches);

@@ -9,9 +9,9 @@
 //! that decides placement), so this experiment measures real CPU time per
 //! operation with and without the control layer while sweeping the event
 //! rate, and reports the effective latency increase over the same
-//! simulated write-through instance. The companion criterion bench
+//! simulated write-through instance. The companion micro-bench
 //! (`benches/control_overhead.rs`) measures the same dispatch path under
-//! criterion's statistics.
+//! the tiera-support bench timer's statistics.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -93,7 +93,7 @@ fn measure(env_seed: u64, control_layer: bool, ops: u64) -> Sample {
                 t += r.latency;
                 virt_total += r.latency.as_millis_f64();
             } else {
-                let data = bytes::Bytes::from(vec![0u8; 4096]);
+                let data = tiera_support::Bytes::from(vec![0u8; 4096]);
                 let mut slowest = tiera_sim::SimDuration::ZERO;
                 for tier in &tiers {
                     let r = tier.put(&okey, data.clone(), t).unwrap();

@@ -14,7 +14,7 @@
 //! seed). `EXPERIMENTS.md` records the measured outputs next to the
 //! paper's numbers.
 //!
-//! The criterion micro-benchmarks (`benches/`) cover the real-CPU costs:
+//! The micro-benchmarks (`benches/`, tiera-support bench harness) cover the real-CPU costs:
 //! control-layer dispatch overhead (Figure 18's x-axis is event rate, and
 //! the overhead itself is compute), codec throughput, spec parsing,
 //! metastore appends, and histogram recording.

@@ -272,26 +272,30 @@ mod tests {
         assert_eq!(decompress(&s), Err(LzssError::BadDistance));
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_roundtrip(data: Vec<u8>) {
+    #[test]
+    fn prop_roundtrip() {
+        tiera_support::prop_check!(cases = 64, |rng| {
+            let data = tiera_support::prop::gen::byte_vec(rng, 0..2048);
             let c = compress(&data);
-            proptest::prop_assert_eq!(decompress(&c).unwrap(), data);
-        }
+            assert_eq!(decompress(&c).unwrap(), data);
+        });
+    }
 
-        #[test]
-        fn prop_roundtrip_redundant(seed in 0u64..1000, n in 0usize..20_000) {
+    #[test]
+    fn prop_roundtrip_redundant() {
+        tiera_support::prop_check!(cases = 64, |rng| {
             // Structured data: repeated small alphabet with runs.
-            let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let n = rng.next_below(20_000) as usize;
             let mut data = Vec::with_capacity(n);
             while data.len() < n {
-                x ^= x << 7; x ^= x >> 9;
-                let run = (x % 32) as usize + 1;
-                let b = (x >> 8) as u8 & 0x0F;
-                for _ in 0..run.min(n - data.len()) { data.push(b); }
+                let run = rng.next_below(32) as usize + 1;
+                let b = rng.next_u64() as u8 & 0x0F;
+                for _ in 0..run.min(n - data.len()) {
+                    data.push(b);
+                }
             }
             let c = compress(&data);
-            proptest::prop_assert_eq!(decompress(&c).unwrap(), data);
-        }
+            assert_eq!(decompress(&c).unwrap(), data);
+        });
     }
 }

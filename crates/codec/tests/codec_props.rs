@@ -1,0 +1,154 @@
+//! Property tests for tiera-codec via the `prop_check!` harness:
+//! known-answer vectors for the digests, round-trips on random byte
+//! strings for the reversible codecs. Every random input derives from
+//! `SimRng`, so failures replay bit-identically from the printed seed.
+
+use tiera_codec::{crc32, hex, lzss, sha256};
+use tiera_support::prop::gen;
+use tiera_support::prop_check;
+
+// ---- known-answer vectors ----
+
+/// CRC-32 (IEEE 802.3) check values from the canonical test corpus.
+#[test]
+fn crc32_known_answer_vectors() {
+    for (input, want) in [
+        (&b""[..], 0x0000_0000u32),
+        (b"a", 0xE8B7_BE43),
+        (b"abc", 0x3524_41C2),
+        // The classic CRC "check" input.
+        (b"123456789", 0xCBF4_3926),
+        (b"The quick brown fox jumps over the lazy dog", 0x414F_A339),
+    ] {
+        assert_eq!(
+            crc32::checksum(input),
+            want,
+            "crc32({:?})",
+            String::from_utf8_lossy(input)
+        );
+    }
+}
+
+/// SHA-256 vectors from FIPS 180-2 appendix B and RFC 6234.
+#[test]
+fn sha256_known_answer_vectors() {
+    for (input, want_hex) in [
+        (
+            &b""[..],
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+        ),
+        (
+            b"abc",
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+        ),
+        (
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+        ),
+        (
+            b"The quick brown fox jumps over the lazy dog",
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592",
+        ),
+    ] {
+        assert_eq!(hex::encode(&sha256::digest(input)), want_hex);
+    }
+}
+
+// ---- properties ----
+
+/// Incremental hashing over arbitrary chunk boundaries matches the
+/// one-shot digest.
+#[test]
+fn prop_sha256_incremental_matches_oneshot() {
+    prop_check!(cases = 64, |rng| {
+        let data = gen::byte_vec(rng, 0..4096);
+        let mut hasher = sha256::Sha256::new();
+        let mut pos = 0;
+        while pos < data.len() {
+            let take = gen::usize_in(rng, 1..257).min(data.len() - pos);
+            hasher.update(&data[pos..pos + take]);
+            pos += take;
+        }
+        assert_eq!(hasher.finalize(), sha256::digest(&data));
+    });
+}
+
+/// Incremental CRC over arbitrary chunk boundaries matches the one-shot
+/// checksum.
+#[test]
+fn prop_crc32_incremental_matches_oneshot() {
+    prop_check!(cases = 64, |rng| {
+        let data = gen::byte_vec(rng, 0..4096);
+        let mut crc = crc32::Crc32::new();
+        let mut pos = 0;
+        while pos < data.len() {
+            let take = gen::usize_in(rng, 1..129).min(data.len() - pos);
+            crc.update(&data[pos..pos + take]);
+            pos += take;
+        }
+        assert_eq!(crc.finalize(), crc32::checksum(&data));
+    });
+}
+
+/// LZSS round-trips arbitrary (largely incompressible) byte strings.
+#[test]
+fn prop_lzss_roundtrip_random() {
+    prop_check!(cases = 64, |rng| {
+        let data = gen::byte_vec(rng, 0..8192);
+        let compressed = lzss::compress(&data);
+        assert_eq!(lzss::decompress(&compressed).unwrap(), data);
+        // Incompressible input stays within the documented worst case.
+        assert!(compressed.len() <= 4 + data.len() + data.len() / 8 + 1);
+    });
+}
+
+/// LZSS round-trips highly redundant data and actually compresses it.
+#[test]
+fn prop_lzss_roundtrip_redundant_shrinks() {
+    prop_check!(cases = 32, |rng| {
+        let alphabet = gen::byte_vec(rng, 1..5);
+        let n = gen::usize_in(rng, 1024..16384);
+        let data: Vec<u8> = (0..n).map(|i| alphabet[i % alphabet.len()]).collect();
+        let compressed = lzss::compress(&data);
+        assert_eq!(lzss::decompress(&compressed).unwrap(), data);
+        assert!(
+            compressed.len() < data.len() / 2,
+            "cyclic data must compress: {} -> {}",
+            data.len(),
+            compressed.len()
+        );
+    });
+}
+
+/// Hex encode/decode round-trips arbitrary bytes, and decode rejects
+/// non-hex garbage.
+#[test]
+fn prop_hex_roundtrip() {
+    prop_check!(cases = 128, |rng| {
+        let data = gen::byte_vec(rng, 0..1024);
+        let encoded = hex::encode(&data);
+        assert_eq!(encoded.len(), data.len() * 2);
+        assert_eq!(hex::decode(&encoded).as_deref(), Some(&data[..]));
+        // Corrupting one nibble to a non-hex character must fail.
+        if !encoded.is_empty() {
+            let mut bad: Vec<char> = encoded.chars().collect();
+            let at = gen::usize_in(rng, 0..bad.len());
+            bad[at] = 'g';
+            let bad: String = bad.into_iter().collect();
+            assert_eq!(hex::decode(&bad), None);
+        }
+    });
+}
+
+/// Truncating a compressed stream never yields the original content.
+#[test]
+fn prop_lzss_truncation_detected() {
+    prop_check!(cases = 32, |rng| {
+        let data = gen::byte_vec(rng, 64..512);
+        let compressed = lzss::compress(&data);
+        let cut = gen::usize_in(rng, 0..compressed.len());
+        if let Ok(v) = lzss::decompress(&compressed[..cut]) {
+            assert_ne!(v, data, "truncated stream decoded to the full payload");
+        }
+    });
+}

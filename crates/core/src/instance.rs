@@ -28,8 +28,8 @@
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
+use tiera_support::Bytes;
+use tiera_support::sync::{Mutex, RwLock};
 
 use tiera_codec::{lzss, ChaCha20, Digest};
 use tiera_sim::bandwidth::BandwidthCap;

@@ -9,7 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use tiera_support::sync::RwLock;
 use tiera_sim::SimTime;
 
 use crate::event::EventKind;

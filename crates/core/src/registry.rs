@@ -8,7 +8,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use parking_lot::RwLock;
+use tiera_support::sync::RwLock;
 use tiera_codec::Digest;
 use tiera_metastore::MetaStore;
 use tiera_sim::SimTime;

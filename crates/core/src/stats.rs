@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use tiera_support::sync::Mutex;
 use tiera_sim::{Histogram, SimDuration};
 
 /// Snapshot of one histogram's key numbers.

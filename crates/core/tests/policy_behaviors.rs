@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use bytes::Bytes;
+use tiera_support::Bytes;
 use tiera_core::event::{ActionOp, EventKind, Metric, Relation};
 use tiera_core::prelude::*;
 use tiera_core::response::Guard;

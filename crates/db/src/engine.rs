@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use tiera_support::sync::Mutex;
 
 use tiera_core::error::TieraError;
 use tiera_fs::TieraFs;

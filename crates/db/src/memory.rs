@@ -13,7 +13,7 @@
 //! queue grows with the thread count, collapsing throughput to that of one
 //! slow serial executor.
 
-use parking_lot::Mutex;
+use tiera_support::sync::Mutex;
 use tiera_sim::{SerialResource, SimDuration, SimTime};
 
 use crate::engine::{DbError, Op, TxnReceipt};

@@ -26,8 +26,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use bytes::Bytes;
-use parking_lot::RwLock;
+use tiera_support::Bytes;
+use tiera_support::sync::RwLock;
 
 use tiera_core::error::{Result, TieraError};
 use tiera_core::instance::Instance;
@@ -681,15 +681,13 @@ mod tests {
         assert_eq!(w.latency, SimDuration::ZERO);
     }
 
-    proptest::proptest! {
-        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
-        #[test]
-        fn prop_random_writes_match_model(
-            ops in proptest::collection::vec(
-                (0u64..20_000, proptest::collection::vec(proptest::num::u8::ANY, 1..3000)),
-                1..25,
-            )
-        ) {
+    #[test]
+    fn prop_random_writes_match_model() {
+        use tiera_support::prop::gen;
+        tiera_support::prop_check!(cases = 16, |rng| {
+            let ops = gen::vec_of(rng, 1..25, |rng| {
+                (rng.next_below(20_000), gen::byte_vec(rng, 1..3000))
+            });
             let fs = fs();
             fs.create("/m", T0).unwrap();
             let mut model: Vec<u8> = Vec::new();
@@ -702,7 +700,7 @@ mod tests {
                 model[*offset as usize..end].copy_from_slice(data);
             }
             let got = fs.read_all("/m", T0).unwrap().value;
-            proptest::prop_assert_eq!(got, model);
-        }
+            assert_eq!(got, model);
+        });
     }
 }

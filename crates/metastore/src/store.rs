@@ -5,7 +5,7 @@ use std::fs::{self, File, OpenOptions};
 use std::io;
 use std::path::{Path, PathBuf};
 
-use parking_lot::Mutex;
+use tiera_support::sync::Mutex;
 
 use crate::log::{LogReader, LogWriter, Record, RecordKind};
 
@@ -535,13 +535,17 @@ mod tests {
         fs::remove_dir_all(&dir).ok();
     }
 
-    proptest::proptest! {
-        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(20))]
-        #[test]
-        fn prop_reopen_matches_model(ops in proptest::collection::vec(
-            (proptest::bool::ANY, 0u8..20, proptest::collection::vec(proptest::num::u8::ANY, 0..64)),
-            1..200,
-        )) {
+    #[test]
+    fn prop_reopen_matches_model() {
+        use tiera_support::prop::gen;
+        tiera_support::prop_check!(cases = 20, |rng| {
+            let ops = gen::vec_of(rng, 1..200, |rng| {
+                (
+                    gen::boolean(rng),
+                    rng.next_below(20) as u8,
+                    gen::byte_vec(rng, 0..64),
+                )
+            });
             let dir = temp_dir("prop");
             let mut model: std::collections::HashMap<Vec<u8>, Vec<u8>> = Default::default();
             {
@@ -559,12 +563,12 @@ mod tests {
                 s.sync().unwrap();
             }
             let s = MetaStore::open(&dir).unwrap();
-            proptest::prop_assert_eq!(s.len(), model.len());
+            assert_eq!(s.len(), model.len());
             for (k, v) in &model {
                 let got = s.get(k);
-                proptest::prop_assert_eq!(got.as_ref(), Some(v));
+                assert_eq!(got.as_ref(), Some(v));
             }
             fs::remove_dir_all(&dir).ok();
-        }
+        });
     }
 }

@@ -531,16 +531,25 @@ mod tests {
         assert!(read_frame(&mut r).is_err());
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_put_roundtrip(key in "[a-z0-9/]{0,40}", value: Vec<u8>, tags in proptest::collection::vec("[a-z]{1,8}", 0..4)) {
+    #[test]
+    fn prop_put_roundtrip() {
+        use tiera_support::prop::gen;
+        tiera_support::prop_check!(cases = 64, |rng| {
+            let key = gen::string_of(rng, "abcdefghijklmnopqrstuvwxyz0123456789/", 0..41);
+            let value = gen::byte_vec(rng, 0..512);
+            let tags = gen::vec_of(rng, 0..4, |rng| {
+                gen::string_of(rng, "abcdefghijklmnopqrstuvwxyz", 1..9)
+            });
             roundtrip_req(Request::Put { key, value, tags });
-        }
+        });
+    }
 
-        #[test]
-        fn prop_decode_never_panics(bytes: Vec<u8>) {
+    #[test]
+    fn prop_decode_never_panics() {
+        tiera_support::prop_check!(cases = 128, |rng| {
+            let bytes = tiera_support::prop::gen::byte_vec(rng, 0..256);
             let _ = Request::decode(&bytes);
             let _ = Response::decode(&bytes);
-        }
+        });
     }
 }

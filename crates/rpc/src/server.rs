@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel;
+use tiera_support::channel;
 
 use tiera_core::catalog::TierCatalog;
 use tiera_core::instance::{Instance, PutOptions};

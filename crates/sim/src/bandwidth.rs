@@ -15,7 +15,7 @@
 use std::collections::BTreeMap;
 
 use crate::clock::{SimDuration, SimTime};
-use parking_lot::Mutex;
+use tiera_support::sync::Mutex;
 
 /// How far behind the newest reservation a completed interval must be
 /// before it is pruned. Callers' virtual clocks are expected to stay within

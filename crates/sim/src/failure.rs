@@ -8,7 +8,7 @@
 //! is what makes the observed throughput collapse rather than error fast).
 
 use crate::clock::{SimDuration, SimTime};
-use parking_lot::RwLock;
+use tiera_support::sync::RwLock;
 
 /// Which operations a failure window affects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

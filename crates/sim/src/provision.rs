@@ -7,7 +7,7 @@
 //! Shrinks are immediate (releasing a node needs no spawn).
 
 use crate::clock::{SimDuration, SimTime};
-use parking_lot::Mutex;
+use tiera_support::sync::Mutex;
 
 /// A pending capacity change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 
 use crate::clock::{SimDuration, SimTime};
-use parking_lot::Mutex;
+use tiera_support::sync::Mutex;
 
 /// Prune horizon for completed intervals (callers stay far closer together
 /// than this; the workload drivers' pacer guarantees it).

@@ -166,7 +166,8 @@ fn print_quantity(q: &Quantity) -> String {
 mod tests {
     use super::*;
     use crate::parse;
-    use proptest::prelude::*;
+    use tiera_support::prop::gen;
+    use tiera_support::SimRng;
 
     #[test]
     fn prints_figure_3_shape() {
@@ -228,88 +229,102 @@ Tiera LowLatencyInstance(time t) {
 
     // ---- property: parse(print(ast)) == ast for generated ASTs ----
 
-    fn arb_ident() -> impl Strategy<Value = String> {
-        "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
-            !matches!(
+    fn arb_ident(rng: &mut SimRng) -> String {
+        loop {
+            let mut s = gen::string_of(rng, "abcdefghijklmnopqrstuvwxyz", 1..2);
+            s.push_str(&gen::string_of(
+                rng,
+                "abcdefghijklmnopqrstuvwxyz0123456789_",
+                0..9,
+            ));
+            let keyword = matches!(
                 s.as_str(),
                 "event" | "response" | "if" | "time" | "insert" | "delete" | "object" | "name"
                     | "size" | "true" | "false"
-            )
-        })
+            );
+            if !keyword {
+                return s;
+            }
+        }
     }
 
-    fn arb_quantity() -> impl Strategy<Value = Quantity> {
-        prop_oneof![
-            (1u64..1000).prop_map(|n| Quantity::Size(n * 1024)),
-            (1u64..1000).prop_map(|n| Quantity::Size(n * 1024 * 1024)),
-            (1u64..120).prop_map(|n| Quantity::Duration(tiera_sim::SimDuration::from_secs(n))),
-            (1u64..100).prop_map(|n| Quantity::Percent(n as f64)),
-            (1u64..1000).prop_map(|n| Quantity::Rate(n as f64 * 1000.0)),
-        ]
+    fn arb_quantity(rng: &mut SimRng) -> Quantity {
+        match rng.next_below(5) {
+            0 => Quantity::Size(gen::u64_in(rng, 1..1000) * 1024),
+            1 => Quantity::Size(gen::u64_in(rng, 1..1000) * 1024 * 1024),
+            2 => Quantity::Duration(tiera_sim::SimDuration::from_secs(gen::u64_in(rng, 1..120))),
+            3 => Quantity::Percent(gen::u64_in(rng, 1..100) as f64),
+            _ => Quantity::Rate(gen::u64_in(rng, 1..1000) as f64 * 1000.0),
+        }
     }
 
-    fn arb_selector() -> impl Strategy<Value = SelectorExpr> {
-        let leaf = prop_oneof![
-            Just(SelectorExpr::InsertObject),
-            arb_ident().prop_map(SelectorExpr::LocationEq),
-            Just(SelectorExpr::DirtyEq(true)),
-            Just(SelectorExpr::DirtyEq(false)),
-            arb_ident().prop_map(SelectorExpr::Oldest),
-            arb_ident().prop_map(SelectorExpr::Newest),
-            "[a-z]{1,6}".prop_map(SelectorExpr::TagEq),
-        ];
-        leaf.prop_recursive(2, 4, 2, |inner| {
-            (inner.clone(), inner).prop_map(|(a, b)| SelectorExpr::And(Box::new(a), Box::new(b)))
-        })
+    fn arb_selector(rng: &mut SimRng, depth: u32) -> SelectorExpr {
+        // Recursion bounded to two levels of `&&` nesting.
+        if depth > 0 && rng.chance(0.4) {
+            return SelectorExpr::And(
+                Box::new(arb_selector(rng, depth - 1)),
+                Box::new(arb_selector(rng, depth - 1)),
+            );
+        }
+        match rng.next_below(7) {
+            0 => SelectorExpr::InsertObject,
+            1 => SelectorExpr::LocationEq(arb_ident(rng)),
+            2 => SelectorExpr::DirtyEq(true),
+            3 => SelectorExpr::DirtyEq(false),
+            4 => SelectorExpr::Oldest(arb_ident(rng)),
+            5 => SelectorExpr::Newest(arb_ident(rng)),
+            _ => SelectorExpr::TagEq(gen::string_of(rng, "abcdefghijklmnopqrstuvwxyz", 1..7)),
+        }
     }
 
-    fn arb_call() -> impl Strategy<Value = Call> {
-        (arb_selector(), arb_ident(), prop_oneof![Just("store"), Just("copy"), Just("move")])
-            .prop_map(|(sel, tier, name)| Call {
-                name: name.to_string(),
-                args: vec![
-                    ("what".into(), ArgValue::Selector(sel)),
-                    ("to".into(), ArgValue::Tiers(vec![tier])),
-                ],
+    fn arb_call(rng: &mut SimRng) -> Call {
+        let sel = arb_selector(rng, 2);
+        let tier = arb_ident(rng);
+        let name = *gen::pick(rng, &["store", "copy", "move"]);
+        Call {
+            name: name.to_string(),
+            args: vec![
+                ("what".into(), ArgValue::Selector(sel)),
+                ("to".into(), ArgValue::Tiers(vec![tier])),
+            ],
+            line: 0,
+        }
+    }
+
+    fn arb_spec(rng: &mut SimRng) -> Spec {
+        let mut name = gen::string_of(rng, "ABCDEFGHIJKLMNOPQRSTUVWXYZ", 1..2);
+        name.push_str(&gen::string_of(
+            rng,
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+            0..11,
+        ));
+        let tiers: Vec<TierDecl> = gen::vec_of(rng, 1..4, |rng| (arb_ident(rng), arb_quantity(rng)))
+            .into_iter()
+            .enumerate()
+            .map(|(i, (ty, size))| TierDecl {
+                label: format!("tier{i}"),
+                type_name: ty,
+                // Tier sizes must be sizes, not durations/percents.
+                size: match size {
+                    Quantity::Size(n) => Quantity::Size(n),
+                    _ => Quantity::Size(1024 * 1024),
+                },
+            })
+            .collect();
+        let events: Vec<EventDecl> = gen::vec_of(rng, 0..4, arb_call)
+            .into_iter()
+            .map(|c| EventDecl {
+                event: EventExpr::Insert { tier: None },
+                body: vec![Stmt::Call(c)],
                 line: 0,
             })
-    }
-
-    fn arb_spec() -> impl Strategy<Value = Spec> {
-        (
-            "[A-Z][A-Za-z0-9]{0,10}",
-            proptest::collection::vec((arb_ident(), arb_ident(), arb_quantity()), 1..4),
-            proptest::collection::vec(arb_call(), 0..4),
-        )
-            .prop_map(|(name, tiers, calls)| {
-                let tiers: Vec<TierDecl> = tiers
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, (_, ty, size))| TierDecl {
-                        label: format!("tier{i}"),
-                        type_name: ty,
-                        // Tier sizes must be sizes, not durations/percents.
-                        size: match size {
-                            Quantity::Size(n) => Quantity::Size(n),
-                            _ => Quantity::Size(1024 * 1024),
-                        },
-                    })
-                    .collect();
-                let events: Vec<EventDecl> = calls
-                    .into_iter()
-                    .map(|c| EventDecl {
-                        event: EventExpr::Insert { tier: None },
-                        body: vec![Stmt::Call(c)],
-                        line: 0,
-                    })
-                    .collect();
-                Spec {
-                    name,
-                    params: vec![],
-                    tiers,
-                    events,
-                }
-            })
+            .collect();
+        Spec {
+            name,
+            params: vec![],
+            tiers,
+            events,
+        }
     }
 
     /// Flattens `&&` chains and rebuilds them left-associated (the
@@ -351,14 +366,14 @@ Tiera LowLatencyInstance(time t) {
         spec
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn prop_print_parse_roundtrip(spec in arb_spec()) {
+    #[test]
+    fn prop_print_parse_roundtrip() {
+        tiera_support::prop_check!(cases = 64, |rng| {
+            let spec = arb_spec(rng);
             let printed = print_spec(&spec);
             let reparsed = parse(&printed)
                 .unwrap_or_else(|e| panic!("printed spec must reparse: {e}\n{printed}"));
-            prop_assert_eq!(strip_lines(reparsed), strip_lines(spec), "{}", printed);
-        }
+            assert_eq!(strip_lines(reparsed), strip_lines(spec), "{printed}");
+        });
     }
 }

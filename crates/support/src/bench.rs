@@ -1,0 +1,288 @@
+//! A micro-benchmark timer with a criterion-shaped API.
+//!
+//! Replacement for the `criterion` harness: the same `Criterion`,
+//! `benchmark_group`, `bench_function`, `Throughput`, `BatchSize` surface
+//! the seed's benches were written against, backed by a plain
+//! `Instant`-based timer. Results print as median ns/iteration (plus
+//! throughput when declared) over `sample_size` samples.
+//!
+//! Mode selection follows cargo's conventions: `cargo bench` invokes the
+//! target with a `--bench` argument and gets full calibrated measurement;
+//! any other invocation (notably `cargo test`, which runs bench targets as
+//! smoke tests) executes each benchmark exactly once so the tier-1 gate
+//! stays fast.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How the per-sample batch size is chosen for [`Bencher::iter_batched`].
+/// All variants behave identically here; the enum exists for call-site
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// Setup re-run for every routine invocation.
+    PerIteration,
+}
+
+/// Declared work-per-iteration, used to print a throughput figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver (the criterion `Criterion` stand-in).
+pub struct Criterion {
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench` to the target; anything else
+        // (e.g. `cargo test` smoke-running the bench target) gets quick
+        // mode: one iteration per benchmark, no calibration.
+        let quick = !std::env::args().any(|a| a == "--bench");
+        Self {
+            sample_size: 20,
+            quick,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnMut(&mut Bencher)) {
+        run_one(name.as_ref(), self.sample_size, self.quick, None, f);
+    }
+}
+
+/// A named group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs a benchmark within this group.
+    pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        run_one(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.quick,
+            self.throughput,
+            f,
+        );
+    }
+
+    /// Ends the group (kept for call-site compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; drives the timed iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `routine`.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on inputs built by `setup`, excluding setup time.
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Target wall time per measured sample in full mode.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+
+fn run_one(
+    name: &str,
+    sample_size: usize,
+    quick: bool,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if quick {
+        // Smoke execution: prove the benchmark runs, skip measurement.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("bench {name:<40} ok (quick mode; run `cargo bench` to measure)");
+        return;
+    }
+
+    // Calibrate: grow the iteration count until one batch fills the
+    // sample target, so per-sample timer overhead is negligible.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= SAMPLE_TARGET || iters >= 1 << 30 {
+            break;
+        }
+        // Aim straight for the target from the observed rate, with
+        // headroom capped at 100x per round to dampen noisy first runs.
+        let observed = b.elapsed.max(Duration::from_nanos(1));
+        let scale = (SAMPLE_TARGET.as_nanos() / observed.as_nanos()).clamp(2, 100) as u64;
+        iters = iters.saturating_mul(scale);
+    }
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = samples_ns[samples_ns.len() / 2];
+    let best = samples_ns[0];
+    let worst = samples_ns[samples_ns.len() - 1];
+
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            let mbps = n as f64 / median * 1e9 / (1024.0 * 1024.0);
+            format!("  {mbps:10.1} MiB/s")
+        }
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            let eps = n as f64 / median * 1e9;
+            format!("  {eps:10.0} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {name:<40} median {median:12.1} ns/iter  (min {best:.1}, max {worst:.1}, \
+         {sample_size} samples x {iters} iters){rate}"
+    );
+}
+
+/// Declares a benchmark group: `bench_group! { name = benches; config =
+/// Criterion::default(); targets = f, g }` (criterion-compatible shape).
+#[macro_export]
+macro_rules! bench_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::bench::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::bench_group! {
+            name = $name;
+            config = $crate::bench::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut calls = 0u64;
+        run_one("unit/quick", 10, true, None, |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn full_mode_takes_samples() {
+        let mut calls = 0u64;
+        run_one(
+            "unit/full",
+            3,
+            false,
+            Some(Throughput::Bytes(1)),
+            |b| b.iter(|| calls += 1),
+        );
+        // Calibration plus 3 samples must each have invoked the routine.
+        assert!(calls > 3);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut b = Bencher {
+            iters: 4,
+            elapsed: Duration::ZERO,
+        };
+        let mut built = 0u32;
+        b.iter_batched(
+            || {
+                built += 1;
+                vec![0u8; 8]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(built, 4);
+    }
+}

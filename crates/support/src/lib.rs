@@ -1,0 +1,39 @@
+//! # tiera-support — hermetic stand-ins for external crates
+//!
+//! The reproduction environment has no network access, so the workspace
+//! cannot fetch crates-io packages. Every external dependency the seed
+//! leaned on is replaced here with a minimal, well-tested in-workspace
+//! implementation of exactly the API subset Tiera uses:
+//!
+//! * [`Bytes`] — a cheaply-cloneable, `Arc`-backed immutable byte buffer
+//!   (replaces the `bytes` crate).
+//! * [`sync`] — non-poisoning [`sync::Mutex`] / [`sync::RwLock`] wrappers
+//!   over `std::sync` (replaces the `parking_lot` API surface used).
+//! * [`channel`] — an unbounded mpmc channel with cloneable senders *and*
+//!   receivers (replaces `crossbeam::channel`).
+//! * [`rng`] — [`rng::SimRng`], the workspace's single deterministic
+//!   randomness source (re-exported by `tiera-sim`; replaces `rand`).
+//! * [`prop`] — the [`prop_check!`] property-testing harness driving
+//!   generators off [`rng::SimRng`] (replaces `proptest`).
+//! * [`bench`] — a micro-benchmark timer with a criterion-shaped API
+//!   (replaces `criterion`).
+//!
+//! This crate sits at the bottom of the dependency graph and must stay
+//! dependency-free: `cargo build --offline` on a bare Rust toolchain is the
+//! contract, enforced by the hermeticity guard test. Determinism flows from
+//! [`rng::SimRng`]: everything randomized — simulation jitter, workload key
+//! sequences, property-test case generation — derives from explicit 64-bit
+//! seeds, never from the wall clock or the OS.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod bytes;
+pub mod channel;
+pub mod prop;
+pub mod rng;
+pub mod sync;
+
+pub use bytes::Bytes;
+pub use rng::SimRng;

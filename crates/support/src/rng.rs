@@ -1,0 +1,178 @@
+//! Deterministic pseudo-random numbers.
+//!
+//! The simulation must be reproducible end-to-end: the same seed yields the
+//! same latency jitter, the same workload key sequence, the same failure
+//! timings. We use a small, well-known generator (SplitMix64 to seed,
+//! xoshiro256** to generate) implemented here so the whole repository has a
+//! single, dependency-free source of randomness — simulation jitter,
+//! workload distributions, and property-test case generation all draw from
+//! [`SimRng`] (re-exported by `tiera-sim` for its historical home).
+
+/// A seedable, splittable PRNG (xoshiro256** seeded via SplitMix64).
+///
+/// Not cryptographically secure — it drives simulations, never security.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits → uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. Returns 0 when `n == 0`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method for lack of modulo bias.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let lo = m as u64;
+            if lo < n {
+                let threshold = n.wrapping_neg() % n;
+                if lo < threshold {
+                    continue;
+                }
+            }
+            return (m >> 64) as u64;
+        }
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Derives an independent child generator (for handing to a component).
+    pub fn split(&mut self) -> SimRng {
+        SimRng::new(self.next_u64() ^ 0xA5A5_5A5A_DEAD_BEEF)
+    }
+
+    /// Samples a value in `[1 - spread, 1 + spread]`, used for latency jitter.
+    pub fn jitter(&mut self, spread: f64) -> f64 {
+        1.0 + (self.next_f64() * 2.0 - 1.0) * spread.clamp(0.0, 1.0)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn next_below_in_bounds_and_covers() {
+        let mut r = SimRng::new(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.next_below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit in 1000 draws");
+    }
+
+    #[test]
+    fn next_f64_uniformish() {
+        let mut r = SimRng::new(11);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let mut r = SimRng::new(5);
+        for _ in 0..1000 {
+            let j = r.jitter(0.2);
+            assert!((0.8..=1.2).contains(&j));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(9);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(13);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,128 @@
+//! Hermeticity guard: the workspace must never regrow a crates-io
+//! dependency. Parses every `crates/*/Cargo.toml` plus the workspace
+//! root and fails if any dependency entry is not an in-repo `tiera-*`
+//! path crate. `cargo build --offline` on a bare toolchain is the
+//! contract (see DESIGN.md, "Hermetic dependency policy").
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // crates/support -> crates -> repo root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("support crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Extracts dependency names from the `[dependencies]`,
+/// `[dev-dependencies]`, `[build-dependencies]`, and
+/// `[workspace.dependencies]` sections of a manifest. A deliberately
+/// simple line-based parse: every dependency the workspace uses is
+/// declared as `name.workspace = true`, `name = { path = … }`, or
+/// `name = "version"` on its own line.
+fn dependency_names(manifest: &str) -> Vec<String> {
+    let mut deps = Vec::new();
+    let mut in_dep_section = false;
+    for raw in manifest.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_dep_section = matches!(
+                line,
+                "[dependencies]"
+                    | "[dev-dependencies]"
+                    | "[build-dependencies]"
+                    | "[workspace.dependencies]"
+            );
+            continue;
+        }
+        if !in_dep_section || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // `name.workspace = true` or `name = …`
+        let name = line
+            .split(['=', '.', ' '])
+            .next()
+            .unwrap_or_default()
+            .trim();
+        if !name.is_empty() {
+            deps.push(name.to_string());
+        }
+    }
+    deps
+}
+
+#[test]
+fn no_external_dependencies_anywhere() {
+    let root = workspace_root();
+    let mut manifests = vec![root.join("Cargo.toml")];
+    for entry in fs::read_dir(root.join("crates")).expect("crates/ directory") {
+        let path = entry.expect("read crates/ entry").path().join("Cargo.toml");
+        assert!(
+            path.is_file(),
+            "every crates/* directory must have a Cargo.toml: {path:?}"
+        );
+        manifests.push(path);
+    }
+    assert!(
+        manifests.len() >= 13,
+        "expected the workspace root and 12+ member manifests, found {}",
+        manifests.len()
+    );
+
+    let mut violations = Vec::new();
+    for manifest_path in &manifests {
+        let text = fs::read_to_string(manifest_path)
+            .unwrap_or_else(|e| panic!("read {manifest_path:?}: {e}"));
+        for dep in dependency_names(&text) {
+            if !dep.starts_with("tiera-") && dep != "tiera" {
+                violations.push(format!("{}: `{dep}`", manifest_path.display()));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "non-hermetic dependencies found (only in-repo `tiera-*` path crates \
+         are allowed; add the needed functionality to `tiera-support` instead):\n  {}",
+        violations.join("\n  ")
+    );
+}
+
+#[test]
+fn banned_crate_names_absent_from_manifests() {
+    // Belt and braces for the review-time grep: the historical crates-io
+    // names must not appear in any member manifest in any form.
+    let banned = [
+        "parking_lot",
+        "crossbeam",
+        "proptest",
+        "criterion",
+        "rand",
+        "bytes",
+    ];
+    let root = workspace_root();
+    for entry in fs::read_dir(root.join("crates")).expect("crates/ directory") {
+        let path = entry.expect("read crates/ entry").path().join("Cargo.toml");
+        let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+        for line in text.lines() {
+            let line = line.trim();
+            if line.starts_with('#') {
+                continue;
+            }
+            for name in banned {
+                // Word-boundary match so e.g. the description "replaces
+                // criterion" in prose is caught too only when it names the
+                // crate as a dependency key.
+                if line.starts_with(name)
+                    && line[name.len()..]
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c == '.' || c == ' ' || c == '=')
+                {
+                    panic!("banned dependency `{name}` named in {path:?}: {line}");
+                }
+            }
+        }
+    }
+}

@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use bytes::Bytes;
-use parking_lot::Mutex;
+use tiera_support::Bytes;
+use tiera_support::sync::Mutex;
 
 use tiera_core::error::{Result, TieraError};
 use tiera_core::object::ObjectKey;

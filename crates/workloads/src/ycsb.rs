@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use bytes::Bytes;
+use tiera_support::Bytes;
 use tiera_core::instance::Instance;
 use tiera_sim::{SimTime, VirtualClock};
 

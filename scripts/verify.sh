@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Local runs and CI exercise exactly this script,
+# so "works on my machine" and "works in the gate" are the same statement.
+#
+# The build must succeed fully offline: the workspace is hermetic by policy
+# (see DESIGN.md, "Hermetic dependency policy") and depends on nothing but
+# the in-repo `tiera-*` path crates. The hermeticity guard test in
+# crates/support/tests/hermetic.rs enforces the policy; the `--offline`
+# build here proves it end to end.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --offline (hermeticity proof)"
+cargo build --offline
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "verify: OK"

@@ -2,13 +2,14 @@
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
 use tiera::core::event::{ActionOp, EventKind};
 use tiera::core::response::ResponseSpec;
 use tiera::core::selector::Selector;
 use tiera::core::tier::TierTraits;
 use tiera::core::{InstanceBuilder, Rule};
 use tiera::prelude::*;
+use tiera_support::prop::gen;
+use tiera_support::prop_check;
 
 fn durable(name: &str, cap: u64) -> Arc<MemTier> {
     MemTier::with_traits(
@@ -22,19 +23,19 @@ fn durable(name: &str, cap: u64) -> Arc<MemTier> {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Whatever interleaving of puts/overwrites/deletes runs against a
-    /// write-through instance, GET returns exactly the model's bytes and
-    /// used-bytes accounting never leaks.
-    #[test]
-    fn instance_matches_model_under_random_ops(
-        ops in proptest::collection::vec(
-            (0u8..8, proptest::collection::vec(any::<u8>(), 0..512), any::<bool>()),
-            1..120,
-        )
-    ) {
+/// Whatever interleaving of puts/overwrites/deletes runs against a
+/// write-through instance, GET returns exactly the model's bytes and
+/// used-bytes accounting never leaks.
+#[test]
+fn instance_matches_model_under_random_ops() {
+    prop_check!(cases = 24, |rng| {
+        let ops = gen::vec_of(rng, 1..120, |rng| {
+            (
+                rng.next_below(8) as u8,
+                gen::byte_vec(rng, 0..512),
+                gen::boolean(rng),
+            )
+        });
         let inst = InstanceBuilder::new("prop", SimEnv::new(7))
             .tier(MemTier::with_capacity("fast", 1 << 20))
             .tier(durable("slow", 1 << 20))
@@ -59,20 +60,21 @@ proptest! {
         }
         for (key, value) in &model {
             let (data, _) = inst.get(key.as_str(), t).unwrap();
-            prop_assert_eq!(&data[..], &value[..]);
+            assert_eq!(&data[..], &value[..]);
         }
-        prop_assert_eq!(inst.registry().len(), model.len());
+        assert_eq!(inst.registry().len(), model.len());
         // Both tiers hold exactly the live bytes (write-through copies).
         let live: u64 = model.values().map(|v| v.len() as u64).sum();
-        prop_assert_eq!(inst.tier("fast").unwrap().used(), live);
-        prop_assert_eq!(inst.tier("slow").unwrap().used(), live);
-    }
+        assert_eq!(inst.tier("fast").unwrap().used(), live);
+        assert_eq!(inst.tier("slow").unwrap().used(), live);
+    });
+}
 
-    /// LRU-evicting caches never exceed capacity and never lose data.
-    #[test]
-    fn lru_cache_never_overflows_or_loses(
-        sizes in proptest::collection::vec(1usize..2000, 1..60)
-    ) {
+/// LRU-evicting caches never exceed capacity and never lose data.
+#[test]
+fn lru_cache_never_overflows_or_loses() {
+    prop_check!(cases = 24, |rng| {
+        let sizes = gen::vec_of(rng, 1..60, |rng| gen::usize_in(rng, 1..2000));
         let cap = 4096u64;
         let inst = InstanceBuilder::new("lru", SimEnv::new(8))
             .tier(MemTier::with_capacity("cache", cap))
@@ -88,23 +90,24 @@ proptest! {
         for (i, size) in sizes.iter().enumerate() {
             let size = (*size).min(cap as usize);
             inst.put(format!("o{i}").as_str(), vec![i as u8; size], t).unwrap();
-            prop_assert!(inst.tier("cache").unwrap().used() <= cap);
+            assert!(inst.tier("cache").unwrap().used() <= cap);
             t += SimDuration::from_millis(1);
         }
         for (i, size) in sizes.iter().enumerate() {
             let size = (*size).min(cap as usize);
             let (data, _) = inst.get(format!("o{i}").as_str(), t).unwrap();
-            prop_assert_eq!(data.len(), size);
-            prop_assert!(data.iter().all(|&b| b == i as u8));
+            assert_eq!(data.len(), size);
+            assert!(data.iter().all(|&b| b == i as u8));
         }
-    }
+    });
+}
 
-    /// storeOnce: physical bytes equal the number of distinct payloads, and
-    /// reads are correct for every alias.
-    #[test]
-    fn store_once_physical_equals_distinct(
-        payload_ids in proptest::collection::vec(0u8..6, 1..40)
-    ) {
+/// storeOnce: physical bytes equal the number of distinct payloads, and
+/// reads are correct for every alias.
+#[test]
+fn store_once_physical_equals_distinct() {
+    prop_check!(cases = 24, |rng| {
+        let payload_ids = gen::vec_of(rng, 1..40, |rng| rng.next_below(6) as u8);
         let inst = InstanceBuilder::new("dd", SimEnv::new(9))
             .tier(MemTier::with_capacity("t", 1 << 20))
             .rule(
@@ -120,32 +123,39 @@ proptest! {
             inst.put(format!("k{i}").as_str(), vec![*id; 256], t).unwrap();
             t += SimDuration::from_millis(1);
         }
-        prop_assert_eq!(
+        assert_eq!(
             inst.tier("t").unwrap().request_counts().puts as usize,
             distinct.len()
         );
-        prop_assert_eq!(
+        assert_eq!(
             inst.tier("t").unwrap().used() as usize,
             distinct.len() * 256
         );
         for (i, id) in payload_ids.iter().enumerate() {
             let (data, _) = inst.get(format!("k{i}").as_str(), t).unwrap();
-            prop_assert!(data.iter().all(|b| b == id));
+            assert!(data.iter().all(|b| b == id));
         }
-    }
+    });
+}
 
-    /// The spec pipeline is total: parsing arbitrary printable garbage never
-    /// panics, and every valid round-trip spec compiles to the same tier
-    /// set it declared.
-    #[test]
-    fn spec_parser_never_panics(src in "[ -~\n]{0,200}") {
+/// The spec pipeline is total: parsing arbitrary printable garbage never
+/// panics, and every valid round-trip spec compiles to the same tier
+/// set it declared.
+#[test]
+fn spec_parser_never_panics() {
+    prop_check!(cases = 48, |rng| {
+        let src = gen::printable_ascii(rng, 0..200);
         let _ = tiera::spec::parse(&src);
-    }
+    });
+}
 
-    /// Virtual-time monotonicity: latencies accumulate, receipts are
-    /// non-negative, and the shared clock never runs backwards.
-    #[test]
-    fn clock_monotone_under_concurrent_load(threads in 1usize..6, ops in 1u64..80) {
+/// Virtual-time monotonicity: latencies accumulate, receipts are
+/// non-negative, and the shared clock never runs backwards.
+#[test]
+fn clock_monotone_under_concurrent_load() {
+    prop_check!(cases = 24, |rng| {
+        let threads = gen::usize_in(rng, 1..6);
+        let ops = gen::u64_in(rng, 1..80);
         let env = SimEnv::new(10);
         let inst = InstanceBuilder::new("mono", env.clone())
             .tier(MemTier::with_capacity("t", 1 << 22))
@@ -166,7 +176,9 @@ proptest! {
                 }
             }));
         }
-        for h in handles { h.join().unwrap(); }
-        prop_assert_eq!(inst.registry().len() as u64, threads as u64 * ops);
-    }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(inst.registry().len() as u64, threads as u64 * ops);
+    });
 }
