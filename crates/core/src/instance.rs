@@ -204,6 +204,55 @@ impl Instance {
         &self.policy
     }
 
+    /// Validates and installs a rule into the live policy (paper §4.2.3's
+    /// dynamic policy changes). Unlike [`Policy::add`], which trusts its
+    /// caller, this is the checked front door for rules arriving at
+    /// runtime: every tier the rule scopes, observes, or targets must be
+    /// attached, and timer periods must be positive.
+    pub fn install_rule(&self, rule: Rule) -> Result<RuleId> {
+        self.validate_rule(&rule)?;
+        Ok(self.policy.add(rule))
+    }
+
+    /// Checks a rule against the instance's attached tiers without
+    /// installing it. The specification-level analyzer (`tiera-spec`)
+    /// cannot run here — by the time a rule reaches the core it is already
+    /// lowered past the AST — so this re-validates the lowered form.
+    pub fn validate_rule(&self, rule: &Rule) -> Result<()> {
+        let tiers = self.tier_names();
+        let check = |name: &str| -> Result<()> {
+            if tiers.iter().any(|t| t == name) {
+                Ok(())
+            } else {
+                Err(TieraError::InvalidConfig(format!(
+                    "rule references unattached tier {name}"
+                )))
+            }
+        };
+        match &rule.event {
+            EventKind::Timer { period } => {
+                if period.as_nanos() == 0 {
+                    return Err(TieraError::InvalidConfig(
+                        "timer rule has a zero period".to_string(),
+                    ));
+                }
+            }
+            EventKind::Threshold { metric, .. } => {
+                if let Some(tier) = metric.tier() {
+                    check(tier)?;
+                }
+            }
+            EventKind::Action { tier: Some(tier), .. } => check(tier)?,
+            EventKind::Action { tier: None, .. } => {}
+        }
+        for response in &rule.responses {
+            for tier in response.referenced_tiers() {
+                check(tier)?;
+            }
+        }
+        Ok(())
+    }
+
     /// The metadata registry.
     pub fn registry(&self) -> &Registry {
         &self.registry
@@ -1367,6 +1416,48 @@ mod tests {
         let meta = inst.registry().get(&ObjectKey::new("k")).unwrap();
         assert!(meta.in_tier("t1"));
         assert!(meta.dirty, "volatile placement leaves the object dirty");
+    }
+
+    #[test]
+    fn install_rule_validates_against_attached_tiers() {
+        let inst = low_latency_instance(SimDuration::from_secs(30));
+        let before = inst.policy().len();
+
+        // References only attached tiers: installed.
+        let ok = Rule::on(EventKind::timer(SimDuration::from_secs(5)))
+            .respond(ResponseSpec::copy(Selector::Dirty, ["tier2"]));
+        inst.install_rule(ok).unwrap();
+        assert_eq!(inst.policy().len(), before + 1);
+
+        // Unattached response target: rejected, policy untouched.
+        let bad = Rule::on(EventKind::timer(SimDuration::from_secs(5)))
+            .respond(ResponseSpec::copy(Selector::Dirty, ["tier9"]));
+        let err = inst.install_rule(bad).unwrap_err();
+        assert!(matches!(err, TieraError::InvalidConfig(_)), "{err}");
+        assert_eq!(inst.policy().len(), before + 1);
+
+        // Unattached threshold metric tier: rejected.
+        let bad = Rule::on(EventKind::threshold_at_least(
+            Metric::TierFillFraction("tier9".into()),
+            0.5,
+        ))
+        .respond(ResponseSpec::copy(Selector::Dirty, ["tier2"]));
+        assert!(inst.install_rule(bad).is_err());
+
+        // Unattached action scope: rejected.
+        let bad = Rule::on(EventKind::Action {
+            op: ActionOp::Put,
+            tier: Some("tier9".into()),
+            background: false,
+        })
+        .respond(ResponseSpec::store(Selector::Inserted, ["tier1"]));
+        assert!(inst.install_rule(bad).is_err());
+
+        // Zero timer period: rejected.
+        let bad = Rule::on(EventKind::timer(SimDuration::ZERO))
+            .respond(ResponseSpec::copy(Selector::Dirty, ["tier2"]));
+        let err = inst.install_rule(bad).unwrap_err();
+        assert!(err.to_string().contains("zero period"), "{err}");
     }
 
     #[test]

@@ -314,30 +314,22 @@ fn handle(
             }
         }
         Request::AddRule { spec_text } => {
-            // Parse the event clause and compile it against the instance's
-            // environment (tier references are validated at execution).
+            // Parse the event clause, run the spec analyzer against the
+            // instance's live tier set, compile, and install through the
+            // core's checked front door — the same validation pipeline a
+            // spec file gets at compile time (paper §4.2.3).
             match tiera_spec::parse_event(&spec_text) {
                 Ok(decl) => {
                     let empty = TierCatalog::new();
                     let compiler =
                         tiera_spec::Compiler::new(&empty, instance.env().clone());
-                    match compiler.compile_event(&decl) {
-                        Ok(rule) => {
-                            let known = instance.tier_names();
-                            let bad = rule
-                                .responses
-                                .iter()
-                                .flat_map(|r| r.referenced_tiers())
-                                .find(|t| !known.iter().any(|k| k == t))
-                                .map(str::to_string);
-                            if let Some(t) = bad {
-                                return Response::Error {
-                                    message: format!("unknown tier `{t}` in rule"),
-                                };
-                            }
-                            let id = instance.policy().add(rule);
-                            Response::RuleAdded { rule_id: id.0 }
-                        }
+                    match compiler.compile_event_checked(&decl, &instance.tier_names()) {
+                        Ok(rule) => match instance.install_rule(rule) {
+                            Ok(id) => Response::RuleAdded { rule_id: id.0 },
+                            Err(e) => Response::Error {
+                                message: e.to_string(),
+                            },
+                        },
                         Err(e) => Response::Error {
                             message: e.to_string(),
                         },

@@ -1,0 +1,1114 @@
+//! Semantic analysis of parsed specifications.
+//!
+//! The parser guarantees a spec is *well-formed*; this pass decides
+//! whether it is *meaningful*. A wrong policy is a wrong storage system —
+//! dirty data parked in a volatile tier with no write-back rule loses data
+//! on the first failure, and a `move` cycle ping-pongs objects between
+//! tiers forever — so [`crate::compile::Compiler::compile`] runs this pass
+//! before building an instance: findings with [`Severity::Error`] reject
+//! the spec, warnings are collected for the caller.
+//!
+//! The checks, by lint code (see [`LintCode`] and the DESIGN.md table):
+//!
+//! | code | check |
+//! |------|-------|
+//! | T001 | undefined tier in targets, event scopes, guards, selectors |
+//! | T002 | duplicate tier label (error) / duplicate event clause (warning) |
+//! | T003 | declared tier never referenced (first tier exempt: default placement) |
+//! | T004 | reference to an undeclared formal parameter |
+//! | T005 | type mismatch (`time` param as `size`, size as timer period, …) |
+//! | T006 | percentage outside its valid range |
+//! | T007 | zero timer period |
+//! | T008 | cycle in the copy/move graph (all-`move` cycle is an error) |
+//! | T009 | copy target capacity smaller than its source tier |
+//! | T010 | stores into a volatile tier with no copy/move path to a durable one |
+//! | T011 | declared formal parameter never used |
+//! | T012 | unknown response name |
+//!
+//! Analysis is deterministic: findings come out in spec walk order, then
+//! whole-spec checks in declaration order, so re-analyzing a printed and
+//! re-parsed spec yields byte-identical rendered diagnostics (a property
+//! test in `tests/analyze_props.rs` holds us to that).
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::ast::*;
+use crate::diag::{Analysis, Diagnostic, LintCode, Severity};
+use crate::printer::{print_event_expr, print_quantity};
+
+/// Response names the compiler can lower (keep in sync with
+/// `Compiler::compile_call`).
+pub const KNOWN_RESPONSES: &[&str] = &[
+    "store",
+    "storeOnce",
+    "retrieve",
+    "copy",
+    "move",
+    "delete",
+    "encrypt",
+    "decrypt",
+    "compress",
+    "uncompress",
+    "grow",
+    "shrink",
+];
+
+/// Analyzes a spec with the default tier-durability profile (the paper's
+/// catalog: `Memcached`/`MemcachedRemote`/`EphemeralStorage` volatile,
+/// `EBS`/`S3` durable).
+pub fn analyze(spec: &Spec) -> Analysis {
+    Analyzer::new().analyze(spec)
+}
+
+/// The analysis pass, configurable with tier-type durability knowledge
+/// for the volatility-leak check (T010). Types the analyzer has never
+/// heard of are given the benefit of the doubt (treated as durable).
+#[derive(Debug, Clone)]
+pub struct Analyzer {
+    /// Lower-cased tier type name → survives failures?
+    durability: HashMap<String, bool>,
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Analyzer {
+    /// An analyzer knowing the paper catalog's durability traits.
+    pub fn new() -> Self {
+        let mut durability = HashMap::new();
+        for (ty, durable) in [
+            ("memcached", false),
+            ("memcachedremote", false),
+            ("ephemeralstorage", false),
+            ("ebs", true),
+            ("s3", true),
+        ] {
+            durability.insert(ty.to_string(), durable);
+        }
+        Self { durability }
+    }
+
+    /// Registers (or overrides) a tier type's durability for T010.
+    pub fn tier_type(mut self, type_name: &str, durable: bool) -> Self {
+        self.durability.insert(type_name.to_lowercase(), durable);
+        self
+    }
+
+    /// Runs every check over a full specification.
+    pub fn analyze(&self, spec: &Spec) -> Analysis {
+        let mut pass = Pass::new(self, spec.tiers.clone(), spec.params.clone());
+        pass.check_tier_decls();
+        for (i, event) in spec.events.iter().enumerate() {
+            pass.check_duplicate_event(&spec.events[..i], event);
+            pass.check_event(event);
+        }
+        pass.check_untargeted_tiers();
+        pass.check_unused_params();
+        pass.check_movement_cycles();
+        pass.check_writeback_capacity();
+        pass.check_volatility_leaks();
+        Analysis::new(pass.diags)
+    }
+
+    /// Re-analyzes a single event clause against a live instance's tier
+    /// names — the runtime policy-mutation path (paper §4.2.3). Whole-spec
+    /// checks (T002/T003/T008–T011) need the full spec and are skipped;
+    /// per-clause checks (T001/T004–T007/T012) all run. `params` lists the
+    /// formal parameters the caller can bind (usually none at runtime).
+    pub fn analyze_event(
+        &self,
+        decl: &EventDecl,
+        tiers: &[String],
+        params: &[Param],
+    ) -> Analysis {
+        let tier_decls = tiers
+            .iter()
+            .map(|label| TierDecl {
+                label: label.clone(),
+                type_name: String::new(),
+                size: Quantity::Int(0),
+                line: 0,
+            })
+            .collect();
+        let mut pass = Pass::new(self, tier_decls, params.to_vec());
+        pass.check_event(decl);
+        Analysis::new(pass.diags)
+    }
+}
+
+/// An edge of the data-movement graph: objects flow `from → to`.
+#[derive(Debug, Clone)]
+struct Edge {
+    from: String,
+    to: String,
+    /// `move` removes the source copy; `copy` keeps it.
+    is_move: bool,
+    line: u32,
+}
+
+struct Pass<'a> {
+    analyzer: &'a Analyzer,
+    tiers: Vec<TierDecl>,
+    params: Vec<Param>,
+    diags: Vec<Diagnostic>,
+    used_tiers: BTreeSet<String>,
+    used_params: BTreeSet<String>,
+    edges: Vec<Edge>,
+    /// `store`/`storeOnce` targets with the line of the store.
+    store_targets: Vec<(String, u32)>,
+    /// Copy/move targets whose selector has no location constraint
+    /// (`insert.object`, `object.dirty == true`, …): they drain *every*
+    /// tier, so a durable one among them satisfies T010 globally.
+    global_writeback: Vec<String>,
+}
+
+impl<'a> Pass<'a> {
+    fn new(analyzer: &'a Analyzer, tiers: Vec<TierDecl>, params: Vec<Param>) -> Self {
+        Self {
+            analyzer,
+            tiers,
+            params,
+            diags: Vec::new(),
+            used_tiers: BTreeSet::new(),
+            used_params: BTreeSet::new(),
+            edges: Vec::new(),
+            store_targets: Vec::new(),
+            global_writeback: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    fn tier_declared(&self, label: &str) -> bool {
+        self.tiers.iter().any(|t| t.label == label)
+    }
+
+    fn declared_tier_list(&self) -> String {
+        if self.tiers.is_empty() {
+            "no tiers are declared".to_string()
+        } else {
+            format!(
+                "declared tiers: {}",
+                self.tiers
+                    .iter()
+                    .map(|t| t.label.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        }
+    }
+
+    /// Records a tier reference and checks it resolves (T001).
+    fn tier_ref(&mut self, label: &str, line: u32, context: &str) {
+        self.used_tiers.insert(label.to_string());
+        if !self.tier_declared(label) {
+            let note = self.declared_tier_list();
+            self.push(
+                Diagnostic::new(
+                    LintCode::UndefinedTier,
+                    line,
+                    format!("undefined tier `{label}` in {context}"),
+                )
+                .note(note),
+            );
+        }
+    }
+
+    /// Records a parameter reference and checks declaration + kind
+    /// (T004/T005).
+    fn param_ref(&mut self, name: &str, expected: ParamKind, line: u32, context: &str) {
+        self.used_params.insert(name.to_string());
+        match self.params.iter().find(|p| p.name == name) {
+            None => {
+                let note = if self.params.is_empty() {
+                    "the spec declares no parameters".to_string()
+                } else {
+                    format!(
+                        "declared parameters: {}",
+                        self.params
+                            .iter()
+                            .map(|p| p.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                };
+                self.push(
+                    Diagnostic::new(
+                        LintCode::UndeclaredParam,
+                        line,
+                        format!("parameter `{name}` is not declared"),
+                    )
+                    .note(note),
+                );
+            }
+            Some(p) if p.kind != expected => {
+                self.push(Diagnostic::new(
+                    LintCode::TypeMismatch,
+                    line,
+                    format!(
+                        "`{name}` is a {} parameter but {context} needs a {}",
+                        kind_name(p.kind),
+                        kind_name(expected)
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+
+    // ---- declaration checks ----
+
+    fn check_tier_decls(&mut self) {
+        for (i, tier) in self.tiers.clone().iter().enumerate() {
+            if self.tiers[..i].iter().any(|t| t.label == tier.label) {
+                self.push(
+                    Diagnostic::new(
+                        LintCode::DuplicateDecl,
+                        tier.line,
+                        format!("duplicate tier label `{}`", tier.label),
+                    )
+                    .severity(Severity::Error)
+                    .note("the later declaration shadows the earlier one"),
+                );
+            }
+            match &tier.size {
+                Quantity::Size(_) | Quantity::Int(_) => {}
+                Quantity::Param(p) => {
+                    self.param_ref(&p.clone(), ParamKind::Size, tier.line, "a tier size")
+                }
+                other => {
+                    let desc = describe_quantity(other);
+                    self.push(Diagnostic::new(
+                        LintCode::TypeMismatch,
+                        tier.line,
+                        format!("tier `{}` size expects a byte size, found {desc}", tier.label),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn check_duplicate_event(&mut self, earlier: &[EventDecl], event: &EventDecl) {
+        if let Some(first) = earlier.iter().find(|e| e.event == event.event) {
+            self.push(
+                Diagnostic::new(
+                    LintCode::DuplicateDecl,
+                    event.line,
+                    format!(
+                        "duplicate event clause `event({})`",
+                        print_event_expr(&event.event)
+                    ),
+                )
+                .note(format!(
+                    "first declared at line {}; both responses will run",
+                    first.line
+                )),
+            );
+        }
+    }
+
+    // ---- event/statement walk ----
+
+    fn check_event(&mut self, decl: &EventDecl) {
+        match &decl.event {
+            EventExpr::Insert { tier: Some(t) } | EventExpr::Delete { tier: Some(t) } => {
+                self.tier_ref(&t.clone(), decl.line, "the event scope");
+            }
+            EventExpr::Insert { tier: None } | EventExpr::Delete { tier: None } => {}
+            EventExpr::Timer { period } => self.check_timer_period(period, decl.line),
+            EventExpr::Filled { tier, value } => {
+                self.tier_ref(&tier.clone(), decl.line, "the `filled` event");
+                self.check_percent(value, decl.line, "a `filled` threshold", PercentRule::Threshold);
+            }
+        }
+        self.check_stmts(&decl.body, decl.line);
+    }
+
+    fn check_timer_period(&mut self, period: &Quantity, line: u32) {
+        match period {
+            Quantity::Duration(d) if d.as_nanos() == 0 => {
+                self.push(
+                    Diagnostic::new(
+                        LintCode::ZeroTimer,
+                        line,
+                        "timer period is zero; the rule would fire continuously",
+                    )
+                    .note("use a positive period like `time=30s`"),
+                );
+            }
+            Quantity::Int(0) => {
+                self.push(
+                    Diagnostic::new(
+                        LintCode::ZeroTimer,
+                        line,
+                        "timer period is zero; the rule would fire continuously",
+                    )
+                    .note("use a positive period like `time=30s`"),
+                );
+            }
+            Quantity::Duration(_) | Quantity::Int(_) => {}
+            Quantity::Param(p) => self.param_ref(&p.clone(), ParamKind::Time, line, "a timer period"),
+            other => {
+                let desc = describe_quantity(other);
+                self.push(Diagnostic::new(
+                    LintCode::TypeMismatch,
+                    line,
+                    format!("a timer period expects a duration, found {desc}"),
+                ));
+            }
+        }
+    }
+
+    fn check_percent(&mut self, q: &Quantity, line: u32, context: &str, rule: PercentRule) {
+        match q {
+            Quantity::Percent(p) => {
+                let bad = match rule {
+                    PercentRule::Threshold | PercentRule::Shrink => *p <= 0.0 || *p > 100.0,
+                    PercentRule::Grow => *p <= 0.0,
+                };
+                if bad {
+                    let range = match rule {
+                        PercentRule::Threshold | PercentRule::Shrink => "the valid range (0, 100]",
+                        PercentRule::Grow => "the valid range (0, ∞)",
+                    };
+                    self.push(Diagnostic::new(
+                        LintCode::PercentRange,
+                        line,
+                        format!("{context} of {p}% is outside {range}"),
+                    ));
+                }
+            }
+            Quantity::Param(p) => self.param_ref(&p.clone(), ParamKind::Percent, line, context),
+            other => {
+                let desc = describe_quantity(other);
+                self.push(Diagnostic::new(
+                    LintCode::TypeMismatch,
+                    line,
+                    format!("{context} expects a percentage, found {desc}"),
+                ));
+            }
+        }
+    }
+
+    fn check_stmts(&mut self, stmts: &[Stmt], line: u32) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Assign { .. } => {
+                    // The compiler validates the single supported
+                    // assignment; nothing to analyze.
+                }
+                Stmt::If { guard, body } => {
+                    let GuardExpr::Filled { tier, value } = guard;
+                    self.tier_ref(&tier.clone(), line, "the `filled` guard");
+                    if let Some(v) = value {
+                        self.check_percent(
+                            &v.clone(),
+                            line,
+                            "a `filled` threshold",
+                            PercentRule::Threshold,
+                        );
+                    }
+                    self.check_stmts(body, line);
+                }
+                Stmt::Call(call) => self.check_call(call),
+            }
+        }
+    }
+
+    fn check_call(&mut self, call: &Call) {
+        let line = call.line;
+        match call.name.as_str() {
+            "store" | "storeOnce" => {
+                let targets = self.arg_tier_list(call, "to");
+                for t in &targets {
+                    self.store_targets.push((t.clone(), line));
+                }
+                self.walk_selector_arg(call, "what");
+            }
+            "retrieve" | "compress" | "uncompress" => {
+                self.walk_selector_arg(call, "what");
+            }
+            "encrypt" | "decrypt" => {
+                // `key:` is a key-ring id (parsed as a bare name or
+                // string), not a tier reference — only `what:` is walked.
+                self.walk_selector_arg(call, "what");
+            }
+            "copy" | "move" => {
+                let is_move = call.name == "move";
+                let targets = self.arg_tier_list(call, "to");
+                let sources = self.walk_selector_arg(call, "what");
+                if sources.is_empty() {
+                    self.global_writeback.extend(targets.iter().cloned());
+                }
+                for src in &sources {
+                    for dst in &targets {
+                        self.edges.push(Edge {
+                            from: src.clone(),
+                            to: dst.clone(),
+                            is_move,
+                            line,
+                        });
+                    }
+                }
+                if let Some(ArgValue::Tiers(ts)) = call.arg("bandwidth") {
+                    if let [name] = ts.as_slice() {
+                        self.push(Diagnostic::new(
+                            LintCode::TypeMismatch,
+                            line,
+                            format!(
+                                "`bandwidth:` expects a rate literal like 40KB/s, \
+                                 not a parameter (`{name}`)"
+                            ),
+                        ));
+                    }
+                }
+            }
+            "delete" => {
+                self.walk_selector_arg(call, "what");
+                if let Some(ArgValue::Tiers(ts)) = call.arg("from") {
+                    for t in ts.clone() {
+                        self.tier_ref(&t, line, "`from:` of `delete`");
+                    }
+                }
+            }
+            "grow" | "shrink" => {
+                if let Some(ArgValue::Tiers(ts)) = call.arg("what") {
+                    for t in ts.clone() {
+                        self.tier_ref(&t, line, &format!("`what:` of `{}`", call.name));
+                    }
+                }
+                let (key, rule) = if call.name == "grow" {
+                    ("increment", PercentRule::Grow)
+                } else {
+                    ("decrement", PercentRule::Shrink)
+                };
+                match call.arg(key) {
+                    Some(ArgValue::Quantity(q)) => {
+                        let context = format!("`{key}:` of `{}`", call.name);
+                        self.check_percent(&q.clone(), line, &context, rule);
+                    }
+                    // A bare identifier parses as a tier list; in this
+                    // position it is a percent-parameter reference.
+                    Some(ArgValue::Tiers(ts)) => {
+                        if let [name] = &ts.clone()[..] {
+                            let context = format!("`{key}:` of `{}`", call.name);
+                            self.param_ref(name, ParamKind::Percent, line, &context);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            other => {
+                self.push(
+                    Diagnostic::new(
+                        LintCode::UnknownResponse,
+                        line,
+                        format!("unknown response `{other}`"),
+                    )
+                    .note(format!("known responses: {}", KNOWN_RESPONSES.join(", "))),
+                );
+            }
+        }
+    }
+
+    /// Checks a `to:`-style tier-list argument and returns the tier names.
+    fn arg_tier_list(&mut self, call: &Call, key: &str) -> Vec<String> {
+        match call.arg(key) {
+            Some(ArgValue::Tiers(ts)) => {
+                let ts = ts.clone();
+                for t in &ts {
+                    self.tier_ref(t, call.line, &format!("`{key}:` of `{}`", call.name));
+                }
+                ts
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Walks a selector argument, checking embedded tier references, and
+    /// returns the tiers the selector is location-constrained to (the
+    /// sources of a copy/move edge). An empty result means the selector
+    /// picks objects regardless of tier.
+    fn walk_selector_arg(&mut self, call: &Call, key: &str) -> Vec<String> {
+        let mut sources = Vec::new();
+        if let Some(ArgValue::Selector(sel)) = call.arg(key) {
+            self.walk_selector(&sel.clone(), call.line, &mut sources);
+        }
+        sources
+    }
+
+    fn walk_selector(&mut self, sel: &SelectorExpr, line: u32, sources: &mut Vec<String>) {
+        match sel {
+            SelectorExpr::LocationEq(t) => {
+                self.tier_ref(t, line, "`object.location`");
+                sources.push(t.clone());
+            }
+            SelectorExpr::Oldest(t) => {
+                self.tier_ref(t, line, "an `.oldest` selector");
+                sources.push(t.clone());
+            }
+            SelectorExpr::Newest(t) => {
+                self.tier_ref(t, line, "a `.newest` selector");
+                sources.push(t.clone());
+            }
+            SelectorExpr::And(a, b) => {
+                self.walk_selector(a, line, sources);
+                self.walk_selector(b, line, sources);
+            }
+            SelectorExpr::Not(inner) => {
+                // A negated location constrains nothing: `!location == t`
+                // matches objects everywhere else.
+                let mut ignored = Vec::new();
+                self.walk_selector(inner, line, &mut ignored);
+            }
+            SelectorExpr::InsertObject
+            | SelectorExpr::DirtyEq(_)
+            | SelectorExpr::TagEq(_)
+            | SelectorExpr::Named(_) => {}
+        }
+    }
+
+    // ---- whole-spec checks ----
+
+    fn check_untargeted_tiers(&mut self) {
+        // The first tier is the default placement preference — an
+        // instance with no explicit store rule still writes there.
+        for tier in self.tiers.clone().iter().skip(1) {
+            if !self.used_tiers.contains(&tier.label) {
+                self.push(
+                    Diagnostic::new(
+                        LintCode::UntargetedTier,
+                        tier.line,
+                        format!(
+                            "tier `{}` is declared but never referenced by any policy",
+                            tier.label
+                        ),
+                    )
+                    .note("it costs capacity but no event stores, copies, or observes it"),
+                );
+            }
+        }
+    }
+
+    fn check_unused_params(&mut self) {
+        for p in self.params.clone() {
+            if !self.used_params.contains(&p.name) {
+                self.push(Diagnostic::new(
+                    LintCode::UnusedParam,
+                    0,
+                    format!("parameter `{}` is declared but never used", p.name),
+                ));
+            }
+        }
+    }
+
+    fn check_movement_cycles(&mut self) {
+        // Deterministic cycle discovery: consider only edges between
+        // declared tiers, walk starts in declaration order, and report
+        // each cycle once — anchored at its smallest-index member.
+        let labels: Vec<String> = self.tiers.iter().map(|t| t.label.clone()).collect();
+        let index: HashMap<&str, usize> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.as_str(), i))
+            .collect();
+        let mut adj: Vec<Vec<(usize, bool, u32)>> = vec![Vec::new(); labels.len()];
+        for e in &self.edges {
+            if let (Some(&f), Some(&t)) = (index.get(e.from.as_str()), index.get(e.to.as_str())) {
+                adj[f].push((t, e.is_move, e.line));
+            }
+        }
+        for start in 0..labels.len() {
+            if let Some(path) = find_cycle(&adj, start) {
+                let all_moves = path.iter().all(|&(_, is_move, _)| is_move);
+                let line = path[0].2;
+                let mut names = vec![labels[start].clone()];
+                names.extend(path.iter().map(|&(n, _, _)| labels[n].clone()));
+                let diag = Diagnostic::new(
+                    LintCode::MovementCycle,
+                    line,
+                    format!("data-movement cycle: {}", names.join(" -> ")),
+                );
+                let diag = if all_moves {
+                    diag.severity(Severity::Error)
+                        .note("every edge is a `move`: objects will ping-pong between these tiers forever")
+                } else {
+                    diag.note("a `copy` edge participates: objects re-replicate around this cycle")
+                };
+                self.push(diag);
+            }
+        }
+    }
+
+    fn check_writeback_capacity(&mut self) {
+        let caps: HashMap<&str, u64> = self
+            .tiers
+            .iter()
+            .filter_map(|t| match &t.size {
+                Quantity::Size(n) | Quantity::Int(n) => Some((t.label.as_str(), *n)),
+                _ => None,
+            })
+            .collect();
+        let mut findings = Vec::new();
+        for e in &self.edges {
+            if !e.is_move {
+                if let (Some(&src), Some(&dst)) =
+                    (caps.get(e.from.as_str()), caps.get(e.to.as_str()))
+                {
+                    if dst < src {
+                        findings.push(
+                            Diagnostic::new(
+                                LintCode::WritebackCapacity,
+                                e.line,
+                                format!(
+                                    "copy target `{}` ({}) is smaller than its source tier `{}` ({})",
+                                    e.to,
+                                    print_quantity(&Quantity::Size(dst)),
+                                    e.from,
+                                    print_quantity(&Quantity::Size(src)),
+                                ),
+                            )
+                            .note("a full write-back cannot fit; grow the target or cap the source"),
+                        );
+                    }
+                }
+            }
+        }
+        self.diags.extend(findings);
+    }
+
+    /// `true` if the tier type is known-volatile; unknown types get the
+    /// benefit of the doubt.
+    fn is_volatile(&self, label: &str) -> bool {
+        self.tiers
+            .iter()
+            .find(|t| t.label == label)
+            .and_then(|t| {
+                self.analyzer
+                    .durability
+                    .get(&t.type_name.to_lowercase())
+                    .copied()
+            })
+            .map(|durable| !durable)
+            .unwrap_or(false)
+    }
+
+    fn is_durable(&self, label: &str) -> bool {
+        !self.is_volatile(label) && self.tier_declared(label)
+    }
+
+    fn check_volatility_leaks(&mut self) {
+        // A location-free copy/move into a durable tier drains every tier.
+        if self.global_writeback.iter().any(|t| self.is_durable(t)) {
+            return;
+        }
+        let mut findings = Vec::new();
+        let mut warned = BTreeSet::new();
+        for (target, line) in &self.store_targets {
+            if !self.tier_declared(target)
+                || !self.is_volatile(target)
+                || warned.contains(target)
+            {
+                continue;
+            }
+            // BFS over copy/move edges: is any durable tier reachable?
+            let mut frontier = vec![target.clone()];
+            let mut seen = BTreeSet::new();
+            let mut safe = false;
+            while let Some(t) = frontier.pop() {
+                if !seen.insert(t.clone()) {
+                    continue;
+                }
+                if self.is_durable(&t) {
+                    safe = true;
+                    break;
+                }
+                for e in &self.edges {
+                    if e.from == t {
+                        frontier.push(e.to.clone());
+                    }
+                }
+            }
+            if !safe {
+                warned.insert(target.clone());
+                findings.push(
+                    Diagnostic::new(
+                        LintCode::VolatilityLeak,
+                        *line,
+                        format!(
+                            "objects stored into volatile tier `{target}` are never \
+                             copied or moved to a durable tier"
+                        ),
+                    )
+                    .note(format!(
+                        "data in `{target}` is lost on failure; add a write-back \
+                         rule (paper Fig. 3)"
+                    )),
+                );
+            }
+        }
+        self.diags.extend(findings);
+    }
+}
+
+/// Range discipline for percentage literals, by position.
+#[derive(Clone, Copy)]
+enum PercentRule {
+    /// Fill thresholds: (0, 100].
+    Threshold,
+    /// Grow increments: positive, may exceed 100%.
+    Grow,
+    /// Shrink decrements: (0, 100] — a tier cannot lose more than itself.
+    Shrink,
+}
+
+fn kind_name(kind: ParamKind) -> &'static str {
+    match kind {
+        ParamKind::Time => "`time`",
+        ParamKind::Size => "`size`",
+        ParamKind::Percent => "`percent`",
+    }
+}
+
+fn describe_quantity(q: &Quantity) -> String {
+    match q {
+        Quantity::Size(_) => format!("the size `{}`", print_quantity(q)),
+        Quantity::Duration(_) => format!("the duration `{}`", print_quantity(q)),
+        Quantity::Percent(_) => format!("the percentage `{}`", print_quantity(q)),
+        Quantity::Rate(_) => format!("the rate `{}`", print_quantity(q)),
+        Quantity::Int(n) => format!("the integer `{n}`"),
+        Quantity::Param(p) => format!("the parameter `{p}`"),
+    }
+}
+
+/// Finds a cycle that starts and ends at `start`, visiting only nodes with
+/// index ≥ `start` (so each cycle is reported exactly once, anchored at
+/// its smallest member). Returns the edge path as `(next_node, is_move,
+/// line)` steps.
+fn find_cycle(
+    adj: &[Vec<(usize, bool, u32)>],
+    start: usize,
+) -> Option<Vec<(usize, bool, u32)>> {
+    fn dfs(
+        adj: &[Vec<(usize, bool, u32)>],
+        start: usize,
+        node: usize,
+        visited: &mut Vec<bool>,
+        path: &mut Vec<(usize, bool, u32)>,
+    ) -> bool {
+        for &(next, is_move, line) in &adj[node] {
+            if next < start {
+                continue;
+            }
+            if next == start {
+                path.push((next, is_move, line));
+                return true;
+            }
+            if !visited[next] {
+                visited[next] = true;
+                path.push((next, is_move, line));
+                if dfs(adj, start, next, visited, path) {
+                    return true;
+                }
+                path.pop();
+            }
+        }
+        false
+    }
+    let mut visited = vec![false; adj.len()];
+    let mut path = Vec::new();
+    dfs(adj, start, start, &mut visited, &mut path).then_some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn codes(src: &str) -> Vec<(&'static str, Severity)> {
+        let spec = parse(src).unwrap();
+        analyze(&spec)
+            .diagnostics()
+            .iter()
+            .map(|d| (d.code.code(), d.severity))
+            .collect()
+    }
+
+    #[test]
+    fn clean_figure_3_has_no_findings() {
+        let src = r#"
+Tiera LowLatency(time t) {
+    tier1: { name: Memcached, size: 5M };
+    tier2: { name: EBS, size: 5M };
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+    event(time=t) : response {
+        copy(what: object.location == tier1 && object.dirty == true, to: tier2);
+    }
+}
+"#;
+        assert!(codes(src).is_empty(), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn undefined_tier_everywhere_it_can_hide() {
+        let src = r#"
+Tiera X() {
+    tier1: { name: EBS, size: 1M };
+    event(insert.into == tier9) : response {
+        store(what: insert.object, to: tier8);
+    }
+    event(tier7.filled == 50%) : response {
+        copy(what: object.location == tier6, to: tier1);
+        grow(what: tier5, increment: 10%);
+    }
+}
+"#;
+        let found = codes(src);
+        let t001 = found.iter().filter(|(c, _)| *c == "T001").count();
+        assert_eq!(t001, 5, "{found:?}");
+        assert!(found.iter().all(|(_, s)| *s == Severity::Error || found.len() > t001));
+    }
+
+    #[test]
+    fn duplicate_event_clause_warns_duplicate_tier_errors() {
+        let src = r#"
+Tiera X() {
+    tier1: { name: EBS, size: 1M };
+    tier1: { name: S3, size: 1M };
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+}
+"#;
+        let found = codes(src);
+        assert!(found.contains(&("T002", Severity::Error)), "{found:?}");
+        assert!(found.contains(&("T002", Severity::Warning)), "{found:?}");
+    }
+
+    #[test]
+    fn untargeted_tier_warns_but_first_tier_exempt() {
+        let src = r#"
+Tiera X() {
+    tier1: { name: EBS, size: 1M };
+    tier2: { name: S3, size: 1M };
+}
+"#;
+        let found = codes(src);
+        assert_eq!(found, vec![("T003", Severity::Warning)], "{found:?}");
+    }
+
+    #[test]
+    fn param_checks() {
+        let src = r#"
+Tiera X(time t, size s, percent unused) {
+    tier1: { name: EBS, size: s };
+    event(time=s) : response {
+        retrieve(what: insert.object);
+    }
+    event(tier1.filled == q) : response {
+        grow(what: tier1, increment: t);
+    }
+}
+"#;
+        let found = codes(src);
+        // time=s: T005; q undeclared: T004; increment t: T005; unused: T011.
+        assert_eq!(
+            found,
+            vec![
+                ("T005", Severity::Error),
+                ("T004", Severity::Error),
+                ("T005", Severity::Error),
+                ("T011", Severity::Warning),
+            ],
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn percent_range_and_zero_timer() {
+        let src = r#"
+Tiera X() {
+    tier1: { name: EBS, size: 1M };
+    event(tier1.filled == 150%) : response {
+        shrink(what: tier1, decrement: 200%);
+    }
+    event(time=0s) : response {
+        grow(what: tier1, increment: 250%);
+    }
+}
+"#;
+        let found = codes(src);
+        assert_eq!(
+            found,
+            vec![
+                ("T006", Severity::Error),
+                ("T006", Severity::Error),
+                ("T007", Severity::Error),
+            ],
+            "grow >100% is legal; {found:?}"
+        );
+    }
+
+    #[test]
+    fn pure_move_cycle_is_error_copy_cycle_warns() {
+        let moves = r#"
+Tiera X(time t) {
+    tier1: { name: EBS, size: 1M };
+    tier2: { name: S3, size: 1M };
+    event(time=t) : response {
+        move(what: object.location == tier1, to: tier2);
+        move(what: object.location == tier2, to: tier1);
+    }
+}
+"#;
+        let found = codes(moves);
+        assert!(found.contains(&("T008", Severity::Error)), "{found:?}");
+
+        let copies = r#"
+Tiera X(time t) {
+    tier1: { name: EBS, size: 1M };
+    tier2: { name: S3, size: 1M };
+    event(time=t) : response {
+        copy(what: object.location == tier1, to: tier2);
+        move(what: object.location == tier2, to: tier1);
+    }
+}
+"#;
+        let found = codes(copies);
+        assert!(found.contains(&("T008", Severity::Warning)), "{found:?}");
+        assert!(!found.contains(&("T008", Severity::Error)), "{found:?}");
+    }
+
+    #[test]
+    fn writeback_capacity_warns_only_when_smaller() {
+        let src = r#"
+Tiera X(time t) {
+    tier1: { name: EBS, size: 2G };
+    tier2: { name: S3, size: 1G };
+    event(time=t) : response {
+        copy(what: object.location == tier1, to: tier2);
+    }
+}
+"#;
+        let found = codes(src);
+        assert_eq!(found, vec![("T009", Severity::Warning)], "{found:?}");
+    }
+
+    #[test]
+    fn volatility_leak_detected_and_cleared_by_writeback_path() {
+        let leaky = r#"
+Tiera X() {
+    tier1: { name: Memcached, size: 1M };
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+}
+"#;
+        assert_eq!(codes(leaky), vec![("T010", Severity::Warning)]);
+
+        // Multi-hop: tier1 -> tier2 (volatile) -> tier3 (durable) is safe.
+        let multihop = r#"
+Tiera X(time t) {
+    tier1: { name: Memcached, size: 1M };
+    tier2: { name: EphemeralStorage, size: 1M };
+    tier3: { name: S3, size: 1M };
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+    event(time=t) : response {
+        move(what: object.location == tier1, to: tier2);
+        copy(what: object.location == tier2, to: tier3);
+    }
+}
+"#;
+        assert!(codes(multihop).is_empty(), "{:?}", codes(multihop));
+
+        // A location-free copy to a durable tier is a global write-back.
+        let global = r#"
+Tiera X(time t) {
+    tier1: { name: Memcached, size: 1M };
+    tier2: { name: EBS, size: 1M };
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+    event(time=t) : response {
+        copy(what: object.dirty == true, to: tier2);
+    }
+}
+"#;
+        assert!(codes(global).is_empty(), "{:?}", codes(global));
+    }
+
+    #[test]
+    fn unknown_response_is_error() {
+        let src = r#"
+Tiera X() {
+    tier1: { name: EBS, size: 1M };
+    event(insert.into) : response {
+        teleport(what: insert.object, to: tier1);
+    }
+}
+"#;
+        let found = codes(src);
+        assert_eq!(found, vec![("T012", Severity::Error)], "{found:?}");
+    }
+
+    #[test]
+    fn lru_eviction_if_idiom_is_clean() {
+        let src = r#"
+Tiera Lru() {
+    tier1: { name: Memcached, size: 1M };
+    tier2: { name: EBS, size: 8M };
+    event(insert.into == tier1) : response {
+        if (tier1.filled) {
+            move(what: tier1.oldest, to: tier2);
+        }
+        store(what: insert.object, to: tier1);
+    }
+}
+"#;
+        assert!(codes(src).is_empty(), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn analyze_event_checks_against_live_tiers() {
+        let analyzer = Analyzer::new();
+        let decl = crate::parse_event(
+            "event(insert.into) : response { store(what: insert.object, to: tier9); }",
+        )
+        .unwrap();
+        let bad = analyzer.analyze_event(&decl, &["tier1".to_string()], &[]);
+        assert!(bad.has_errors());
+        assert_eq!(bad.first_error().unwrap().code, LintCode::UndefinedTier);
+        let ok = analyzer.analyze_event(&decl, &["tier9".to_string()], &[]);
+        assert!(ok.is_clean());
+    }
+
+    #[test]
+    fn custom_tier_type_durability_is_configurable() {
+        let src = r#"
+Tiera X() {
+    tier1: { name: FlashCache, size: 1M };
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+}
+"#;
+        let spec = parse(src).unwrap();
+        // Unknown type: benefit of the doubt, no finding.
+        assert!(Analyzer::new().analyze(&spec).is_clean());
+        // Declared volatile: the leak fires.
+        let a = Analyzer::new().tier_type("FlashCache", false);
+        assert_eq!(a.analyze(&spec).warnings().count(), 1);
+    }
+}

@@ -44,6 +44,8 @@ pub struct TierDecl {
     pub type_name: String,
     /// Initial capacity in bytes.
     pub size: Quantity,
+    /// Source line (for diagnostics).
+    pub line: u32,
 }
 
 /// A literal or parameter reference.

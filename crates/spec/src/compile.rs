@@ -30,7 +30,9 @@ use tiera_core::InstanceBuilder;
 use tiera_sim::bandwidth::BandwidthCap;
 use tiera_sim::{SimDuration, SimEnv};
 
+use crate::analyze::Analyzer;
 use crate::ast::*;
+use crate::diag::Diagnostic;
 use crate::SpecError;
 
 /// A value bound to a specification parameter.
@@ -67,8 +69,25 @@ impl<'a> Compiler<'a> {
         self
     }
 
-    /// Compiles a parsed spec into a running instance.
+    /// Compiles a parsed spec into a running instance, discarding analyzer
+    /// warnings. See [`Compiler::compile_checked`] to receive them.
     pub fn compile(&self, spec: &Spec) -> Result<Arc<Instance>, SpecError> {
+        self.compile_checked(spec).map(|(inst, _)| inst)
+    }
+
+    /// Compiles a parsed spec into a running instance, returning the
+    /// analyzer warnings alongside it. Analyzer errors (see
+    /// [`crate::diag::LintCode`]) reject the spec before any tier is
+    /// created.
+    pub fn compile_checked(
+        &self,
+        spec: &Spec,
+    ) -> Result<(Arc<Instance>, Vec<Diagnostic>), SpecError> {
+        let analysis = Analyzer::new().analyze(spec);
+        if let Some(err) = analysis.first_error() {
+            return Err(analysis_error(err));
+        }
+        let warnings = analysis.into_warnings();
         // Check parameter bindings.
         for p in &spec.params {
             match (p.kind, self.bindings.get(&p.name)) {
@@ -102,9 +121,25 @@ impl<'a> Compiler<'a> {
         for event in &spec.events {
             builder = builder.rule(self.compile_event(event)?);
         }
-        builder
+        let instance = builder
             .build()
-            .map_err(|e| SpecError::new(0, e.to_string()))
+            .map_err(|e| SpecError::new(0, e.to_string()))?;
+        Ok((instance, warnings))
+    }
+
+    /// Analyzes a single event clause against a set of live tier names and
+    /// compiles it to a rule — the runtime policy-addition path (paper
+    /// §4.2.3). Analyzer errors reject the clause.
+    pub fn compile_event_checked(
+        &self,
+        decl: &EventDecl,
+        known_tiers: &[String],
+    ) -> Result<Rule, SpecError> {
+        let analysis = Analyzer::new().analyze_event(decl, known_tiers, &[]);
+        if let Some(err) = analysis.first_error() {
+            return Err(analysis_error(err));
+        }
+        self.compile_event(decl)
     }
 
     /// Compiles a single event clause to a rule (usable for runtime policy
@@ -413,6 +448,12 @@ impl<'a> Compiler<'a> {
             )),
         }
     }
+}
+
+/// An analyzer error surfaced through the compiler's error type, keeping
+/// the stable lint code visible (`[T001] undefined tier ...`).
+fn analysis_error(diag: &Diagnostic) -> SpecError {
+    SpecError::new(diag.line, format!("[{}] {}", diag.code, diag.message))
 }
 
 fn lower_selector(expr: &SelectorExpr) -> Selector {

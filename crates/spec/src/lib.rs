@@ -60,14 +60,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod ast;
 pub mod compile;
+pub mod diag;
 pub mod parser;
 pub mod printer;
 pub mod token;
 
+pub use analyze::{analyze, Analyzer};
 pub use ast::Spec;
 pub use compile::{Compiler, ParamValue};
+pub use diag::{Analysis, Diagnostic, LintCode, Severity};
 pub use parser::{parse, parse_event};
 pub use printer::print_spec;
 

@@ -161,6 +161,7 @@ impl Parser {
 
     // tier_decl := IDENT ":" "{" "name" ":" IDENT "," "size" ":" qty "}" ";"
     fn tier_decl(&mut self) -> Result<TierDecl, SpecError> {
+        let line = self.line();
         let label = self.ident()?;
         self.expect(&TokenKind::Colon)?;
         self.expect(&TokenKind::LBrace)?;
@@ -177,6 +178,7 @@ impl Parser {
             label,
             type_name,
             size,
+            line,
         })
     }
 
@@ -347,10 +349,12 @@ impl Parser {
         match self.peek() {
             Some(TokenKind::Str(_)) => {
                 let t = self.next()?;
-                if let TokenKind::Str(s) = t.kind {
-                    Ok(ArgValue::Str(s))
-                } else {
-                    unreachable!()
+                match t.kind {
+                    TokenKind::Str(s) => Ok(ArgValue::Str(s)),
+                    other => Err(SpecError::new(
+                        t.line,
+                        format!("expected a string literal, found {other}"),
+                    )),
                 }
             }
             Some(

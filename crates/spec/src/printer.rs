@@ -44,9 +44,9 @@ fn indent(level: usize) -> String {
     "    ".repeat(level)
 }
 
-fn print_event(decl: &EventDecl, level: usize) -> String {
-    let mut out = String::new();
-    let expr = match &decl.event {
+/// Renders an event expression (also used by analyzer diagnostics).
+pub(crate) fn print_event_expr(event: &EventExpr) -> String {
+    match event {
         EventExpr::Insert { tier: None } => "insert.into".to_string(),
         EventExpr::Insert { tier: Some(t) } => format!("insert.into == {t}"),
         EventExpr::Delete { tier: None } => "delete.from".to_string(),
@@ -55,7 +55,12 @@ fn print_event(decl: &EventDecl, level: usize) -> String {
         EventExpr::Filled { tier, value } => {
             format!("{tier}.filled == {}", print_quantity(value))
         }
-    };
+    }
+}
+
+fn print_event(decl: &EventDecl, level: usize) -> String {
+    let mut out = String::new();
+    let expr = print_event_expr(&decl.event);
     out.push_str(&format!("{}event({expr}) : response {{\n", indent(level)));
     for stmt in &decl.body {
         out.push_str(&print_stmt(stmt, level + 1));
@@ -117,7 +122,9 @@ fn print_selector(sel: &SelectorExpr) -> String {
     }
 }
 
-fn print_quantity(q: &Quantity) -> String {
+/// Renders a quantity in canonical spec syntax (also used by analyzer
+/// diagnostics when describing sizes).
+pub(crate) fn print_quantity(q: &Quantity) -> String {
     const KIB: u64 = 1024;
     match q {
         Quantity::Size(n) => {
@@ -197,7 +204,9 @@ Tiera LowLatencyInstance(time t) {
     #[test]
     fn roundtrip_paper_figures() {
         for src in [
-            r#"Tiera A() { tier1: { name: Memcached, size: 200M }; }"#,
+            r#"Tiera A() {
+    tier1: { name: Memcached, size: 200M };
+}"#,
             r#"Tiera B(time t, percent p) {
                 tier1: { name: Memcached, size: 1G };
                 tier2: { name: S3, size: 16G };
@@ -309,6 +318,7 @@ Tiera LowLatencyInstance(time t) {
                     Quantity::Size(n) => Quantity::Size(n),
                     _ => Quantity::Size(1024 * 1024),
                 },
+                line: 0,
             })
             .collect();
         let events: Vec<EventDecl> = gen::vec_of(rng, 0..4, arb_call)
@@ -350,6 +360,9 @@ Tiera LowLatencyInstance(time t) {
     /// Strips source-line info and normalizes selector association so
     /// structural equality ignores position and tree shape.
     fn strip_lines(mut spec: Spec) -> Spec {
+        for t in &mut spec.tiers {
+            t.line = 0;
+        }
         for e in &mut spec.events {
             e.line = 0;
             for s in &mut e.body {

@@ -99,20 +99,39 @@ const KIB: u64 = 1024;
 
 fn classify_number(digits: u64, suffix: &str, line: u32) -> Result<TokenKind, SpecError> {
     use tiera_sim::SimDuration;
+    // Multiplications are checked: `99999999999T` must be a diagnostic, not
+    // a wrap-around size (or a debug-build panic).
+    let overflow = || SpecError::new(line, format!("quantity out of range: {digits}{suffix}"));
+    let size = |mult: u64| {
+        digits
+            .checked_mul(mult)
+            .map(TokenKind::Size)
+            .ok_or_else(overflow)
+    };
+    let duration = |secs_mult: u64| {
+        digits
+            .checked_mul(secs_mult)
+            .and_then(|s| s.checked_mul(1_000_000_000))
+            .map(|ns| TokenKind::Duration(SimDuration::from_nanos(ns)))
+            .ok_or_else(overflow)
+    };
     match suffix {
         "" => Ok(TokenKind::Int(digits)),
         "%" => Ok(TokenKind::Percent(digits as f64)),
-        "K" | "KB" => Ok(TokenKind::Size(digits * KIB)),
-        "M" | "MB" => Ok(TokenKind::Size(digits * KIB * KIB)),
-        "G" | "GB" => Ok(TokenKind::Size(digits * KIB * KIB * KIB)),
-        "T" | "TB" => Ok(TokenKind::Size(digits * KIB * KIB * KIB * KIB)),
+        "K" | "KB" => size(KIB),
+        "M" | "MB" => size(KIB * KIB),
+        "G" | "GB" => size(KIB * KIB * KIB),
+        "T" | "TB" => size(KIB * KIB * KIB * KIB),
         "B/s" => Ok(TokenKind::Rate(digits as f64)),
         "KB/s" => Ok(TokenKind::Rate(digits as f64 * 1000.0)),
         "MB/s" => Ok(TokenKind::Rate(digits as f64 * 1000.0 * 1000.0)),
-        "ms" => Ok(TokenKind::Duration(SimDuration::from_millis(digits))),
-        "s" | "sec" | "secs" => Ok(TokenKind::Duration(SimDuration::from_secs(digits))),
-        "min" | "mins" => Ok(TokenKind::Duration(SimDuration::from_secs(digits * 60))),
-        "h" | "hr" | "hrs" => Ok(TokenKind::Duration(SimDuration::from_secs(digits * 3600))),
+        "ms" => digits
+            .checked_mul(1_000_000)
+            .map(|ns| TokenKind::Duration(SimDuration::from_nanos(ns)))
+            .ok_or_else(overflow),
+        "s" | "sec" | "secs" => duration(1),
+        "min" | "mins" => duration(60),
+        "h" | "hr" | "hrs" => duration(3600),
         other => Err(SpecError::new(
             line,
             format!("unknown unit suffix `{other}` after {digits}"),
@@ -353,5 +372,28 @@ mod tests {
     #[test]
     fn single_ampersand_rejected() {
         assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn overflowing_quantities_are_errors_not_panics() {
+        for src in [
+            "99999999999999999T",
+            "18446744073709551615G",
+            "99999999999999999999",
+            "18446744073709551615s",
+            "999999999999999999min",
+            "18446744073709551615ms",
+        ] {
+            match lex(src) {
+                Err(e) => assert!(
+                    e.message.contains("out of range"),
+                    "{src}: unexpected message {e}"
+                ),
+                Ok(t) => panic!("{src}: lexed as {t:?}"),
+            }
+        }
+        // The largest representable values still lex.
+        assert!(lex("18446744073709551615").is_ok());
+        assert!(lex("17179869183G").is_ok()); // (2^34 - 1) GiB < 2^64 bytes
     }
 }

@@ -1,8 +1,16 @@
-//! Hermeticity guard: the workspace must never regrow a crates-io
-//! dependency. Parses every `crates/*/Cargo.toml` plus the workspace
-//! root and fails if any dependency entry is not an in-repo `tiera-*`
-//! path crate. `cargo build --offline` on a bare toolchain is the
-//! contract (see DESIGN.md, "Hermetic dependency policy").
+//! Hermeticity guard and workspace source lint.
+//!
+//! Manifest half: the workspace must never regrow a crates-io dependency.
+//! Parses every `crates/*/Cargo.toml` plus the workspace root and fails if
+//! any dependency entry is not an in-repo `tiera-*` path crate. `cargo
+//! build --offline` on a bare toolchain is the contract (see DESIGN.md,
+//! "Hermetic dependency policy").
+//!
+//! Source half: every crate must carry `#![forbid(unsafe_code)]`, and no
+//! crate outside `tiera-support` may name `std::sync::Mutex` /
+//! `std::sync::RwLock` directly — the support crate's deadline-aware
+//! wrappers (`tiera_support::sync`) are the only sanctioned lock types, so
+//! lock-acquisition policy stays in one place.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -51,6 +59,33 @@ fn dependency_names(manifest: &str) -> Vec<String> {
         }
     }
     deps
+}
+
+/// All `.rs` files under `dir`, recursively (src/bin/, tests/, ...).
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries {
+        let path = entry.expect("read dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Crate directories under `crates/`, sorted for stable failure output.
+fn crate_dirs() -> Vec<PathBuf> {
+    let root = workspace_root();
+    let mut dirs: Vec<PathBuf> = fs::read_dir(root.join("crates"))
+        .expect("crates/ directory")
+        .map(|e| e.expect("read crates/ entry").path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    dirs
 }
 
 #[test]
@@ -125,4 +160,60 @@ fn banned_crate_names_absent_from_manifests() {
             }
         }
     }
+}
+
+#[test]
+fn every_crate_forbids_unsafe_code() {
+    let mut missing = Vec::new();
+    for dir in crate_dirs() {
+        let lib = dir.join("src").join("lib.rs");
+        let text =
+            fs::read_to_string(&lib).unwrap_or_else(|e| panic!("read {lib:?}: {e}"));
+        if !text.contains("#![forbid(unsafe_code)]") {
+            missing.push(lib.display().to_string());
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "crates without `#![forbid(unsafe_code)]`:\n  {}",
+        missing.join("\n  ")
+    );
+}
+
+#[test]
+fn std_sync_locks_only_in_support() {
+    // `tiera_support::sync::{Mutex, RwLock}` are the only lock types the
+    // workspace may use; reaching for std's directly bypasses the support
+    // crate's poisoning policy. The support crate itself wraps them and is
+    // exempt.
+    let mut violations = Vec::new();
+    for dir in crate_dirs() {
+        if dir.file_name().is_some_and(|n| n == "support") {
+            continue;
+        }
+        let mut sources = Vec::new();
+        rust_sources(&dir, &mut sources);
+        sources.sort();
+        for path in sources {
+            let text =
+                fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+            for (i, raw) in text.lines().enumerate() {
+                let line = raw.trim();
+                if line.starts_with("//") || line.starts_with("//!") {
+                    continue;
+                }
+                if line.contains("std::sync::")
+                    && (line.contains("Mutex") || line.contains("RwLock"))
+                {
+                    violations.push(format!("{}:{}: {line}", path.display(), i + 1));
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "direct std::sync lock usage outside tiera-support \
+         (use `tiera_support::sync` instead):\n  {}",
+        violations.join("\n  ")
+    );
 }

@@ -20,4 +20,7 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> tiera-lint --deny-warnings specs/ (spec analyzer gate)"
+cargo run -q --release --offline --bin tiera-lint -- --deny-warnings --quiet specs/*.tiera
+
 echo "verify: OK"
