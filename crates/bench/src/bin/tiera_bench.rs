@@ -1,0 +1,87 @@
+//! `tiera-bench` — wall-clock benchmark CLI.
+//!
+//! ```text
+//! tiera-bench hotpath [--quick] [--out BENCH_pr3.json]
+//! tiera-bench check <report.json>
+//! ```
+//!
+//! `hotpath` measures real-CPU throughput of the metadata hot path and
+//! writes the `BENCH_pr3.json` report; `check` validates an existing
+//! report against the schema (used by `scripts/bench.sh` so the committed
+//! artifact can't rot). The figure experiments remain under the
+//! `experiments` binary — those are virtual-time and deterministic; this
+//! one is wall-clock by design.
+
+use std::process::ExitCode;
+
+use tiera_bench::hotpath;
+use tiera_bench::json::Value;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  tiera-bench hotpath [--quick] [--out PATH]\n  tiera-bench check <report.json>"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("hotpath") => {
+            let mut quick = false;
+            let mut out = String::from("BENCH_pr3.json");
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--quick" => quick = true,
+                    "--out" => match rest.next() {
+                        Some(path) => out = path.clone(),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            let report = hotpath::run(&hotpath::Options { quick });
+            if let Err(e) = hotpath::validate(&report) {
+                eprintln!("internal error: generated report fails validation: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = std::fs::write(&out, report.to_pretty()) {
+                eprintln!("write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let report = match Value::parse(&text) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("{path}: invalid JSON: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match hotpath::validate(&report) {
+                Ok(()) => {
+                    println!("{path}: ok");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{path}: schema violation: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,370 @@
+//! Wall-clock hot-path benchmark (`tiera-bench hotpath`).
+//!
+//! Everything else in this crate measures *virtual* time: experiments
+//! advance `SimTime` and report simulated latencies, so they are
+//! deterministic and machine-independent. This module is the opposite — it
+//! measures how fast the real CPU pushes operations through the metadata
+//! hot path (sharded registry, striped stats, heap-backed background
+//! queue), in real seconds:
+//!
+//! * single-thread PUT / GET / pump throughput against one [`Instance`]
+//!   (no sockets — pure core-layer cost);
+//! * an RPC scaling curve: the TCP server with a request pool of 1/2/4/8
+//!   threads, driven closed-loop by the same number of client connections
+//!   doing mixed PUT+GET.
+//!
+//! Virtual time still exists inside the benched instance (operations carry
+//! `SimTime` stamps) but is never slept on; the numbers are wall-clock
+//! operations per second. Results land in `BENCH_pr3.json` (schema
+//! enforced by [`validate`] and `scripts/bench.sh`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tiera_core::event::EventKind;
+use tiera_core::instance::Instance;
+use tiera_core::response::ResponseSpec;
+use tiera_core::selector::Selector;
+use tiera_core::{InstanceBuilder, Rule};
+use tiera_rpc::{ServerConfig, TieraClient, TieraServer};
+use tiera_sim::{SimDuration, SimEnv, SimTime};
+use tiera_tiers::MemoryTier;
+
+use crate::json::Value;
+
+/// Thread counts of the RPC scaling curve.
+pub const RPC_CURVE: [usize; 4] = [1, 2, 4, 8];
+
+/// Benchmark options.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Quick mode: short measurement windows, for CI smoke — the numbers
+    /// are noisy but the harness and schema are fully exercised.
+    pub quick: bool,
+}
+
+impl Options {
+    fn window(&self) -> Duration {
+        if self.quick {
+            Duration::from_millis(120)
+        } else {
+            Duration::from_millis(1500)
+        }
+    }
+}
+
+/// Payload size for benched objects (a small metadata-bound object; the
+/// hot path under test is the control layer, not memcpy).
+const PAYLOAD: usize = 128;
+/// Distinct keys per workload (object count stays fixed; every op hits an
+/// existing key's hot path).
+const KEYSPACE: u64 = 10_000;
+
+/// A one-tier memory instance: every operation cost is control-layer CPU.
+fn mem_instance(name: &str) -> Arc<Instance> {
+    let env = SimEnv::new(7);
+    InstanceBuilder::new(name, env.clone())
+        .tier(Arc::new(MemoryTier::same_az("mem", 1 << 30, &env)))
+        .build()
+        .expect("valid bench instance")
+}
+
+/// Runs `op(i)` in a closed loop for roughly `window`, returning wall-clock
+/// operations per second.
+fn ops_per_sec(window: Duration, mut op: impl FnMut(u64)) -> f64 {
+    // Warm up: populate caches, JIT the branch predictors into shape.
+    for i in 0..256 {
+        op(i);
+    }
+    let start = Instant::now();
+    let mut done: u64 = 0;
+    loop {
+        for _ in 0..512 {
+            op(256 + done);
+            done += 1;
+        }
+        if start.elapsed() >= window {
+            break;
+        }
+    }
+    done as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_single_thread(opts: &Options) -> Value {
+    let payload = vec![0x5au8; PAYLOAD];
+
+    let inst = mem_instance("hotpath-put");
+    let put = ops_per_sec(opts.window(), |i| {
+        let key = format!("k{}", i % KEYSPACE);
+        inst.put(&key, &payload[..], SimTime::from_micros(i))
+            .expect("put");
+    });
+
+    let inst = mem_instance("hotpath-get");
+    for i in 0..KEYSPACE {
+        inst.put(&format!("k{i}"), &payload[..], SimTime::from_micros(i))
+            .expect("seed put");
+    }
+    let get = ops_per_sec(opts.window(), |i| {
+        let key = format!("k{}", i % KEYSPACE);
+        inst.get(&key, SimTime::from_secs(1) + SimDuration::from_micros(i))
+            .expect("get");
+    });
+
+    // Pump: a 1 s timer rule whose response re-copies the LRU-oldest
+    // object in place — each pump call evaluates timers, fires one, and
+    // runs one index-driven response through the background machinery.
+    let env = SimEnv::new(7);
+    let inst = InstanceBuilder::new("hotpath-pump", env.clone())
+        .tier(Arc::new(MemoryTier::same_az("mem", 1 << 30, &env)))
+        .rule(
+            Rule::on(EventKind::timer(SimDuration::from_secs(1)))
+                .respond(ResponseSpec::copy(Selector::OldestIn("mem".into()), ["mem"])),
+        )
+        .build()
+        .expect("valid bench instance");
+    for i in 0..KEYSPACE {
+        inst.put(&format!("k{i}"), &payload[..], SimTime::from_micros(i))
+            .expect("seed put");
+    }
+    let pump = ops_per_sec(opts.window(), |i| {
+        let fired = inst.pump(SimTime::from_secs(i + 1)).expect("pump");
+        debug_assert!(fired.timers_fired >= 1);
+    });
+
+    Value::obj([
+        ("put_ops_per_sec", Value::Num(put)),
+        ("get_ops_per_sec", Value::Num(get)),
+        ("pump_ops_per_sec", Value::Num(pump)),
+    ])
+}
+
+/// One point of the RPC curve: a server with `threads` request workers,
+/// driven closed-loop by `threads` TCP connections doing mixed PUT+GET.
+/// (The request pool hands one connection to one worker for its lifetime,
+/// so client count = worker count saturates the pool exactly.)
+fn rpc_point(threads: usize, window: Duration) -> f64 {
+    let inst = mem_instance("hotpath-rpc");
+    let server = TieraServer::start(
+        inst,
+        "127.0.0.1:0",
+        ServerConfig {
+            request_threads: threads,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let payload = vec![0x5au8; PAYLOAD];
+    let workers: Vec<_> = (0..threads)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let payload = payload.clone();
+            std::thread::spawn(move || {
+                let mut client = TieraClient::connect(addr).expect("connect");
+                // Seed this client's keyspace so GETs always hit.
+                let per_client: u64 = 512;
+                for i in 0..per_client {
+                    client
+                        .put(&format!("c{c}-{i}"), &payload)
+                        .expect("seed put");
+                }
+                let mut ops: u64 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = format!("c{c}-{}", ops % per_client);
+                    if ops % 2 == 0 {
+                        client.put(&key, &payload).expect("put");
+                    } else {
+                        client.get(&key).expect("get");
+                    }
+                    ops += 1;
+                }
+                ops
+            })
+        })
+        .collect();
+
+    let start = Instant::now();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = workers.into_iter().map(|w| w.join().expect("worker")).sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    server.shutdown();
+    total as f64 / elapsed
+}
+
+fn bench_rpc_scaling(opts: &Options) -> Value {
+    let mut points = Vec::new();
+    let mut base = 0.0f64;
+    for &threads in &RPC_CURVE {
+        eprintln!("  rpc scaling: {threads} thread(s)...");
+        let rate = rpc_point(threads, opts.window());
+        if threads == 1 {
+            base = rate;
+        }
+        let speedup = if base > 0.0 { rate / base } else { 0.0 };
+        points.push(Value::obj([
+            ("threads", Value::Num(threads as f64)),
+            ("ops_per_sec", Value::Num(rate)),
+            ("speedup_vs_1", Value::Num(speedup)),
+        ]));
+    }
+    Value::Arr(points)
+}
+
+/// Runs the full hot-path suite and assembles the `BENCH_pr3.json` report.
+pub fn run(opts: &Options) -> Value {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "hotpath: wall-clock benchmark on {cores} core(s){}",
+        if opts.quick { " (quick mode)" } else { "" }
+    );
+    eprintln!("  single-thread put/get/pump...");
+    let single = bench_single_thread(opts);
+    let scaling = bench_rpc_scaling(opts);
+    Value::obj([
+        ("bench", Value::Str("hotpath".into())),
+        ("pr", Value::Num(3.0)),
+        ("quick", Value::Bool(opts.quick)),
+        (
+            "meta",
+            Value::obj([
+                ("cores", Value::Num(cores as f64)),
+                ("payload_bytes", Value::Num(PAYLOAD as f64)),
+                ("keyspace", Value::Num(KEYSPACE as f64)),
+            ]),
+        ),
+        ("single_thread", single),
+        ("rpc_scaling", scaling),
+    ])
+}
+
+/// Validates the `BENCH_pr3.json` schema. Structural only — no timing
+/// assertions, so CI smoke runs can't flake on machine speed.
+pub fn validate(report: &Value) -> Result<(), String> {
+    if report.get("bench").and_then(Value::as_str) != Some("hotpath") {
+        return Err("`bench` must be \"hotpath\"".into());
+    }
+    report
+        .get("pr")
+        .and_then(Value::as_num)
+        .filter(|&n| n == 3.0)
+        .ok_or("`pr` must be 3")?;
+    if !matches!(report.get("quick"), Some(Value::Bool(_))) {
+        return Err("`quick` must be a boolean".into());
+    }
+    let meta = report.get("meta").ok_or("missing `meta`")?;
+    meta.get("cores")
+        .and_then(Value::as_num)
+        .filter(|&n| n >= 1.0)
+        .ok_or("`meta.cores` must be >= 1")?;
+    let single = report.get("single_thread").ok_or("missing `single_thread`")?;
+    for field in ["put_ops_per_sec", "get_ops_per_sec", "pump_ops_per_sec"] {
+        single
+            .get(field)
+            .and_then(Value::as_num)
+            .filter(|&n| n > 0.0 && n.is_finite())
+            .ok_or_else(|| format!("`single_thread.{field}` must be a positive number"))?;
+    }
+    let scaling = report
+        .get("rpc_scaling")
+        .and_then(Value::as_arr)
+        .ok_or("missing `rpc_scaling` array")?;
+    if scaling.len() != RPC_CURVE.len() {
+        return Err(format!("`rpc_scaling` must have {} points", RPC_CURVE.len()));
+    }
+    for (point, &threads) in scaling.iter().zip(&RPC_CURVE) {
+        point
+            .get("threads")
+            .and_then(Value::as_num)
+            .filter(|&n| n == threads as f64)
+            .ok_or_else(|| format!("rpc point must record threads={threads}"))?;
+        for field in ["ops_per_sec", "speedup_vs_1"] {
+            point
+                .get(field)
+                .and_then(Value::as_num)
+                .filter(|&n| n > 0.0 && n.is_finite())
+                .ok_or_else(|| format!("rpc point `{field}` must be a positive number"))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stub_report() -> Value {
+        Value::obj([
+            ("bench", Value::Str("hotpath".into())),
+            ("pr", Value::Num(3.0)),
+            ("quick", Value::Bool(true)),
+            ("meta", Value::obj([("cores", Value::Num(4.0))])),
+            (
+                "single_thread",
+                Value::obj([
+                    ("put_ops_per_sec", Value::Num(1.0e5)),
+                    ("get_ops_per_sec", Value::Num(2.0e5)),
+                    ("pump_ops_per_sec", Value::Num(3.0e5)),
+                ]),
+            ),
+            (
+                "rpc_scaling",
+                Value::Arr(
+                    RPC_CURVE
+                        .iter()
+                        .map(|&t| {
+                            Value::obj([
+                                ("threads", Value::Num(t as f64)),
+                                ("ops_per_sec", Value::Num(1000.0 * t as f64)),
+                                ("speedup_vs_1", Value::Num(t as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn validate_accepts_wellformed_report() {
+        validate(&stub_report()).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_missing_and_malformed_fields() {
+        let mut missing_curve = stub_report();
+        if let Value::Obj(pairs) = &mut missing_curve {
+            pairs.retain(|(k, _)| k != "rpc_scaling");
+        }
+        assert!(validate(&missing_curve).is_err());
+
+        let mut bad_rate = stub_report();
+        if let Value::Obj(pairs) = &mut bad_rate {
+            for (k, v) in pairs.iter_mut() {
+                if k == "single_thread" {
+                    *v = Value::obj([("put_ops_per_sec", Value::Num(-1.0))]);
+                }
+            }
+        }
+        assert!(validate(&bad_rate).is_err());
+
+        assert!(validate(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn single_thread_bench_produces_positive_rates() {
+        // A micro-window run of the real harness: exercises put/get/pump
+        // paths end to end without meaningful wall time.
+        let report = bench_single_thread(&Options { quick: true });
+        for field in ["put_ops_per_sec", "get_ops_per_sec", "pump_ops_per_sec"] {
+            let rate = report.get(field).and_then(Value::as_num).unwrap();
+            assert!(rate > 0.0, "{field} = {rate}");
+        }
+    }
+}

@@ -23,6 +23,8 @@
 
 pub mod deployments;
 pub mod experiments;
+pub mod hotpath;
+pub mod json;
 pub mod table;
 
 pub use table::Table;

@@ -25,7 +25,7 @@
 //! afterwards (this is how Fig 4's `PersistentInstance` works: the PUT
 //! lands in `tier1`, then the write-through rule copies it to `tier2`).
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use tiera_support::Bytes;
@@ -85,6 +85,69 @@ struct PendingWork {
     inserted: Option<ObjectKey>,
 }
 
+/// Due-ordered background queue: a binary min-heap keyed by
+/// `(due, insertion seq)`, so [`Instance::pump`] drains work strictly in
+/// due order (FIFO among equal due times) at O(log n) per operation. The
+/// old `VecDeque` + linear `iter().position` scan was O(n) per pop — O(n²)
+/// per pump — *and* popped the first-queued due item rather than the
+/// earliest-due one, so a later-queued earlier-due writeback could run
+/// after a later one.
+#[derive(Default)]
+struct BackgroundQueue {
+    heap: std::collections::BinaryHeap<QueuedWork>,
+    next_seq: u64,
+}
+
+struct QueuedWork {
+    due: SimTime,
+    seq: u64,
+    work: PendingWork,
+}
+
+impl PartialEq for QueuedWork {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for QueuedWork {}
+impl PartialOrd for QueuedWork {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedWork {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, we want the earliest due
+        // (then lowest seq) on top.
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+impl BackgroundQueue {
+    fn push(&mut self, work: PendingWork) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueuedWork {
+            due: work.due,
+            seq,
+            work,
+        });
+    }
+
+    /// Pops the earliest-due item if it is due at `now`.
+    fn pop_due(&mut self, now: SimTime) -> Option<PendingWork> {
+        if self.heap.peek()?.due <= now {
+            Some(self.heap.pop().expect("peeked").work)
+        } else {
+            None
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
 /// The two shapes of background work.
 enum WorkItem {
     /// Ordinary deferred responses.
@@ -110,7 +173,7 @@ pub struct Instance {
     registry: Registry,
     stats: InstanceStats,
     keyring: RwLock<HashMap<String, [u8; 32]>>,
-    background: Mutex<VecDeque<PendingWork>>,
+    background: Mutex<BackgroundQueue>,
     /// Figure 18 ablation switch: with the control layer off, PUT/GET go
     /// straight to the default tier with no event evaluation.
     control_layer: AtomicBool,
@@ -184,7 +247,7 @@ impl Instance {
             registry,
             stats: InstanceStats::new(),
             keyring: RwLock::new(HashMap::new()),
-            background: Mutex::new(VecDeque::new()),
+            background: Mutex::new(BackgroundQueue::default()),
             control_layer: AtomicBool::new(true),
         }
     }
@@ -608,13 +671,9 @@ impl Instance {
             self.execute_responses(&responses, &mut ctx)?;
         }
 
-        // Background queue.
+        // Background queue: drain in due order (heap-backed, O(log n)).
         loop {
-            let work = {
-                let mut q = self.background.lock();
-                let idx = q.iter().position(|w| w.due <= now);
-                idx.and_then(|i| q.remove(i))
-            };
+            let work = self.background.lock().pop_due(now);
             let Some(work) = work else { break };
             report.background_executed += 1;
             let mut ctx = Ctx::background(work.due);
@@ -639,7 +698,7 @@ impl Instance {
                         if !keys.is_empty() {
                             // Pace: the next chunk may only start once this
                             // one's bytes have "drained" at the cap rate.
-                            self.background.lock().push_back(PendingWork {
+                            self.background.lock().push(PendingWork {
                                 due: work.due + cap.pace(moved.max(1)),
                                 work: WorkItem::PacedCopy {
                                     keys,
@@ -666,7 +725,9 @@ impl Instance {
     // ---- internals ----
 
     fn matching_action_rules(&self, op: ActionOp, into_tier: &str) -> Vec<(RuleId, Rule, bool)> {
-        self.policy.with_rules(|rules| {
+        // Action matching never mutates trigger state: shared lock only,
+        // so concurrent PUT/GET threads don't serialize on the policy.
+        self.policy.with_rules_read(|rules| {
             rules
                 .iter()
                 .filter_map(|installed| match &installed.rule.event {
@@ -687,7 +748,7 @@ impl Instance {
 
     fn enqueue_background(&self, responses: Vec<ResponseSpec>, ctx: &Ctx) {
         self.stats.record_background();
-        self.background.lock().push_back(PendingWork {
+        self.background.lock().push(PendingWork {
             due: ctx.now,
             work: WorkItem::Responses(responses),
             inserted: ctx.inserted.clone(),
@@ -698,6 +759,11 @@ impl Instance {
     /// actions.
     fn eval_thresholds(&self, ctx: &mut Ctx) -> Result<()> {
         if ctx.depth >= MAX_CASCADE_DEPTH {
+            return Ok(());
+        }
+        // Fast path: no threshold rules installed (the common policy on the
+        // action hot path) — skip the write lock entirely.
+        if !self.policy.has_threshold_rules() {
             return Ok(());
         }
         let fired: Vec<(Vec<ResponseSpec>, bool)> = self.policy.with_rules(|rules| {
@@ -1065,7 +1131,7 @@ impl Instance {
                 .map(|k| self.resolve_physical(&k))
                 .collect();
             if !keys.is_empty() {
-                self.background.lock().push_back(PendingWork {
+                self.background.lock().push(PendingWork {
                     due: ctx.now,
                     work: WorkItem::PacedCopy {
                         keys,
@@ -1890,5 +1956,87 @@ mod tests {
         let after = inst.registry().get(&ObjectKey::new("k")).unwrap();
         assert_eq!(after.access_count, before + 1);
         assert_eq!(after.last_access, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn background_queue_pops_earliest_due_not_first_queued() {
+        // Regression for the VecDeque-era bug: `iter().position(|w| w.due
+        // <= now)` popped the first *queued* due item, so a later-queued
+        // earlier-due item ran after it. The heap must drain by due time.
+        let mut q = BackgroundQueue::default();
+        for (name, due_s) in [("late", 30u64), ("early", 10), ("mid", 20)] {
+            q.push(PendingWork {
+                due: SimTime::from_secs(due_s),
+                work: WorkItem::Responses(Vec::new()),
+                inserted: Some(ObjectKey::new(name)),
+            });
+        }
+        assert_eq!(q.len(), 3);
+        // Nothing due yet.
+        assert!(q.pop_due(SimTime::from_secs(5)).is_none());
+        let now = SimTime::from_secs(60);
+        let order: Vec<String> = std::iter::from_fn(|| q.pop_due(now))
+            .map(|w| w.inserted.unwrap().as_str().to_string())
+            .collect();
+        assert_eq!(order, ["early", "mid", "late"]);
+    }
+
+    #[test]
+    fn background_queue_is_fifo_among_equal_dues() {
+        let mut q = BackgroundQueue::default();
+        for name in ["first", "second", "third"] {
+            q.push(PendingWork {
+                due: T0,
+                work: WorkItem::Responses(Vec::new()),
+                inserted: Some(ObjectKey::new(name)),
+            });
+        }
+        let order: Vec<String> = std::iter::from_fn(|| q.pop_due(T0))
+            .map(|w| w.inserted.unwrap().as_str().to_string())
+            .collect();
+        assert_eq!(order, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn pump_executes_paced_continuations_in_due_order() {
+        // Two paced background copies of two objects each: the slow-capped
+        // one is queued first, the fast-capped one second. After the first
+        // step of each, the fast copy's continuation is due at 1 s and the
+        // slow one's at 10 s — due-order draining must run "fast2" before
+        // "slow2" even though the slow copy was queued first. (The old
+        // first-queued draining executed "slow2" first.)
+        let inst = InstanceBuilder::new("paced", SimEnv::new(1))
+            .tier(MemTier::with_capacity("tier1", 1 << 20))
+            .tier(durable_tier("tier2", 1 << 20))
+            .build()
+            .unwrap();
+        for k in ["slow1", "slow2", "fast1", "fast2"] {
+            inst.put(k, Bytes::from(vec![7u8; 1000]), T0).unwrap();
+        }
+        // 1000-byte objects: 100 B/s paces the continuation 10 s out,
+        // 1000 B/s paces it 1 s out.
+        for (keys, bps) in [(["slow1", "slow2"], 100.0), (["fast1", "fast2"], 1000.0)] {
+            inst.background.lock().push(PendingWork {
+                due: T0,
+                work: WorkItem::PacedCopy {
+                    keys: keys.iter().map(|k| ObjectKey::new(*k)).collect(),
+                    to: vec!["tier2".into()],
+                    cap: BandwidthCap { bytes_per_sec: bps },
+                    delete_source: false,
+                },
+                inserted: None,
+            });
+        }
+        inst.pump(SimTime::from_secs(60)).unwrap();
+        for k in ["slow1", "slow2", "fast1", "fast2"] {
+            assert!(inst.registry().get(&ObjectKey::new(k)).unwrap().in_tier("tier2"));
+        }
+        // fast2 ran at its 1 s continuation, slow2 at 10 s — slow2's
+        // registry update is the later one, so it surfaces as newest.
+        assert_eq!(
+            inst.registry().newest_in("tier2").unwrap().as_str(),
+            "slow2",
+            "slow continuation (due 10 s) executed after fast (due 1 s)"
+        );
     }
 }

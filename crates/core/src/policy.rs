@@ -173,9 +173,27 @@ impl Policy {
             .collect()
     }
 
-    /// Internal access for the instance's dispatcher.
+    /// Internal access for the instance's dispatcher (mutates trigger
+    /// state, so it takes the write lock — timer and threshold paths only).
     pub(crate) fn with_rules<R>(&self, f: impl FnOnce(&mut Vec<InstalledRule>) -> R) -> R {
         f(&mut self.inner.write())
+    }
+
+    /// Read-only rule access for the action hot path: concurrent PUT/GET
+    /// threads match rules under the shared lock and never serialize on the
+    /// policy unless a rule is actually being installed or fired-with-state.
+    pub(crate) fn with_rules_read<R>(&self, f: impl FnOnce(&[InstalledRule]) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Whether any threshold rule is installed. Cheap pre-check letting
+    /// [`eval_thresholds`](crate::Instance) skip the write lock entirely on
+    /// the (common) policies with no threshold rules.
+    pub(crate) fn has_threshold_rules(&self) -> bool {
+        self.inner
+            .read()
+            .iter()
+            .any(|r| matches!(r.rule.event, EventKind::Threshold { .. }))
     }
 }
 

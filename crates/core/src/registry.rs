@@ -5,10 +5,41 @@
 //! (the Figure 5 LRU/MRU idiom), keeps the content-digest index behind
 //! `storeOnce` deduplication, and — mirroring the paper's BerkeleyDB usage —
 //! optionally persists all metadata through `tiera-metastore`.
+//!
+//! ## Concurrency model
+//!
+//! The registry is the metadata hot path shared by every request thread, so
+//! its state is split to avoid a single global lock (DESIGN.md,
+//! "Concurrency model"):
+//!
+//! * **Shards.** The key→meta map is hash-partitioned into
+//!   [`SHARD_COUNT`] shards, each behind its own `RwLock`. A key-addressed
+//!   operation (`get`/`contains`/`upsert`/`update`/`touch`/`remove`) locks
+//!   exactly one shard — two requests for different keys usually touch
+//!   different shards and proceed in parallel.
+//! * **Order indexes** (`order`): the per-tier access-ordered maps behind
+//!   `tierN.oldest`/`newest`, the global access order, the dirty set, and
+//!   the access-count index driving hot/cold selectors. One `RwLock`,
+//!   write-held only for the few `BTreeMap` edits per mutation.
+//! * **Aggregates** (`aggregates`): per-tier object/dirty-byte counters for
+//!   threshold metrics. One `RwLock`.
+//! * **Dedup** (`dedup`): the `storeOnce` digest table behind its own
+//!   `Mutex`; never held together with any other registry lock.
+//!
+//! **Lock order: shard → order → aggregates.** A thread may skip levels but
+//! never acquires a lower level while holding a higher one, and never holds
+//! two shard locks at once. `dedup` is independent (leaf-only).
+//!
+//! Mutations hold their shard lock across the index updates, so for any
+//! single key the map and every index always agree; cross-key readers of
+//! the order indexes see each mutation atomically because the index edits
+//! for one mutation happen under one `order` write guard.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use tiera_support::sync::RwLock;
+use tiera_support::collections::{fx_hash_one, FxHashMap};
+use tiera_support::sync::{Mutex, RwLock};
 use tiera_codec::Digest;
 use tiera_metastore::MetaStore;
 use tiera_sim::SimTime;
@@ -17,6 +48,11 @@ use crate::error::{Result, TieraError};
 use crate::meta::ObjectMeta;
 use crate::object::ObjectKey;
 use crate::selector::Selector;
+
+/// Number of key-addressed shards (power of two; picked from the top hash
+/// bits). 16 keeps per-shard contention negligible for the request-pool
+/// sizes the RPC server runs (≤ 8 threads) without bloating the footprint.
+pub const SHARD_COUNT: usize = 16;
 
 /// Aggregates maintained per tier for cheap threshold-metric evaluation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -27,24 +63,65 @@ pub struct TierAggregates {
     pub dirty_bytes: u64,
 }
 
-#[derive(Default)]
-struct Inner {
-    map: HashMap<ObjectKey, ObjectMeta>,
-    /// Monotone access sequence; drives LRU/MRU ordering.
+/// One object's registry record: its metadata plus the access-sequence
+/// number linking it into the order indexes.
+struct Entry {
+    meta: ObjectMeta,
     seq: u64,
-    /// Current sequence number of each key.
-    key_seq: HashMap<ObjectKey, u64>,
+}
+
+/// One hash shard of the key→meta map.
+#[derive(Default)]
+struct Shard {
+    map: FxHashMap<ObjectKey, Entry>,
+}
+
+/// The cross-shard order indexes (see module docs for the lock order).
+struct OrderIndexes {
     /// Per-tier access-ordered index: seq → key. First = oldest.
-    tier_order: HashMap<String, BTreeMap<u64, ObjectKey>>,
-    /// Per-tier aggregates.
-    aggregates: HashMap<String, TierAggregates>,
-    /// Content digest → (physical object key, reference count).
-    dedup: HashMap<Digest, (ObjectKey, u64)>,
+    tier_order: FxHashMap<String, BTreeMap<u64, ObjectKey>>,
+    /// Global access-ordered index over every object (drives `All`/`Not`).
+    access_order: BTreeMap<u64, ObjectKey>,
+    /// Access-ordered index over dirty objects (drives `Dirty`).
+    dirty_order: BTreeMap<u64, ObjectKey>,
+    /// `(access_count, key) → created`: the frequency index. Hot/cold
+    /// selectors walk it from the hot (high-count) or cold (low-count) end
+    /// and prune with the `created` bounds below.
+    freq_index: BTreeMap<(u64, ObjectKey), SimTime>,
+    /// Monotone upper bound on live objects' creation times: the youngest
+    /// possible object. `now - max_created` lower-bounds every object's
+    /// age, letting `HotterThan` stop early.
+    max_created: SimTime,
+    /// Monotone lower bound on creation times (upper-bounds ages) for
+    /// `ColderThan`'s early stop. Conservative after removals — stale
+    /// bounds only weaken pruning, never correctness.
+    min_created: SimTime,
+}
+
+impl Default for OrderIndexes {
+    fn default() -> Self {
+        Self {
+            tier_order: FxHashMap::default(),
+            access_order: BTreeMap::new(),
+            dirty_order: BTreeMap::new(),
+            freq_index: BTreeMap::new(),
+            max_created: SimTime::ZERO,
+            min_created: SimTime::from_nanos(u64::MAX),
+        }
+    }
 }
 
 /// Thread-safe object-metadata registry with optional persistence.
 pub struct Registry {
-    inner: RwLock<Inner>,
+    shards: Vec<RwLock<Shard>>,
+    /// Monotone access sequence; drives LRU/MRU ordering.
+    seq: AtomicU64,
+    /// Live object count (kept here so `len()` does not sweep the shards).
+    count: AtomicU64,
+    order: RwLock<OrderIndexes>,
+    aggregates: RwLock<FxHashMap<String, TierAggregates>>,
+    /// Content digest → (physical object key, reference count).
+    dedup: Mutex<FxHashMap<Digest, (ObjectKey, u64)>>,
     store: Option<MetaStore>,
 }
 
@@ -52,7 +129,12 @@ impl Registry {
     /// An in-memory registry (no persistence).
     pub fn in_memory() -> Self {
         Self {
-            inner: RwLock::new(Inner::default()),
+            shards: (0..SHARD_COUNT).map(|_| RwLock::new(Shard::default())).collect(),
+            seq: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            order: RwLock::new(OrderIndexes::default()),
+            aggregates: RwLock::new(FxHashMap::default()),
+            dedup: Mutex::new(FxHashMap::default()),
             store: None,
         }
     }
@@ -60,27 +142,31 @@ impl Registry {
     /// A registry persisted in `dir`; existing metadata is recovered.
     pub fn persistent(dir: impl AsRef<std::path::Path>) -> Result<Self> {
         let store = MetaStore::open(dir).map_err(|e| TieraError::Metadata(e.to_string()))?;
-        let reg = Self {
-            inner: RwLock::new(Inner::default()),
-            store: None,
-        };
-        {
-            let mut inner = reg.inner.write();
-            for (k, v) in store.scan_prefix(b"") {
-                let Ok(key_str) = String::from_utf8(k) else {
-                    continue;
-                };
-                if let Some(meta) = ObjectMeta::decode(&v) {
-                    let key = ObjectKey::new(key_str);
-                    Inner::index_insert(&mut inner, &key, &meta);
-                    inner.map.insert(key, meta);
-                }
+        let reg = Self::in_memory();
+        for (k, v) in store.scan_prefix(b"") {
+            let Ok(key_str) = String::from_utf8(k) else {
+                continue;
+            };
+            if let Some(meta) = ObjectMeta::decode(&v) {
+                reg.insert_locked(ObjectKey::new(key_str), meta);
             }
         }
         Ok(Self {
             store: Some(store),
             ..reg
         })
+    }
+
+    #[inline]
+    fn shard_of(&self, key: &ObjectKey) -> &RwLock<Shard> {
+        // Top bits: FxHash mixes best into the high half of the word.
+        let h = fx_hash_one(key);
+        &self.shards[(h >> (64 - SHARD_COUNT.trailing_zeros())) as usize]
+    }
+
+    #[inline]
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     fn persist(&self, key: &ObjectKey, meta: Option<&ObjectMeta>) {
@@ -107,7 +193,7 @@ impl Registry {
 
     /// Number of registered objects.
     pub fn len(&self) -> usize {
-        self.inner.read().map.len()
+        self.count.load(Ordering::Acquire) as usize
     }
 
     /// Whether the registry is empty.
@@ -117,41 +203,60 @@ impl Registry {
 
     /// Clone of an object's metadata.
     pub fn get(&self, key: &ObjectKey) -> Option<ObjectMeta> {
-        self.inner.read().map.get(key).cloned()
+        self.shard_of(key).read().map.get(key).map(|e| e.meta.clone())
     }
 
     /// Whether the object exists.
     pub fn contains(&self, key: &ObjectKey) -> bool {
-        self.inner.read().map.contains_key(key)
+        self.shard_of(key).read().map.contains_key(key)
     }
 
     /// Inserts or replaces an object's metadata wholesale.
     pub fn upsert(&self, key: ObjectKey, meta: ObjectMeta) {
-        let mut inner = self.inner.write();
-        if let Some(old) = inner.map.remove(&key) {
-            Inner::index_remove(&mut inner, &key, &old);
-        }
-        Inner::index_insert(&mut inner, &key, &meta);
-        inner.map.insert(key.clone(), meta.clone());
-        drop(inner);
+        self.insert_locked(key.clone(), meta.clone());
         self.persist(&key, Some(&meta));
     }
 
+    /// The locked body of [`upsert`](Self::upsert), shared with recovery.
+    fn insert_locked(&self, key: ObjectKey, meta: ObjectMeta) {
+        let mut shard = self.shard_of(&key).write();
+        let seq = self.next_seq();
+        let prior = shard.map.insert(key.clone(), Entry { meta, seq });
+        let entry = shard.map.get(&key).expect("just inserted");
+        {
+            let mut order = self.order.write();
+            let mut aggregates = self.aggregates.write();
+            if let Some(old) = &prior {
+                index_remove(&mut order, &mut aggregates, &key, &old.meta, old.seq);
+            }
+            index_insert(&mut order, &mut aggregates, &key, &entry.meta, seq);
+        }
+        if prior.is_none() {
+            self.count.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
     /// Applies `f` to an object's metadata (if present), refreshing all
-    /// indexes. Returns the updated metadata.
+    /// indexes in place. Returns a clone of the updated metadata (the only
+    /// clone the operation makes).
     pub fn update<F>(&self, key: &ObjectKey, f: F) -> Option<ObjectMeta>
     where
         F: FnOnce(&mut ObjectMeta),
     {
-        let mut inner = self.inner.write();
-        let mut meta = inner.map.get(key)?.clone();
-        Inner::index_remove(&mut inner, key, &meta);
-        f(&mut meta);
-        Inner::index_insert(&mut inner, key, &meta);
-        inner.map.insert(key.clone(), meta.clone());
-        drop(inner);
-        self.persist(key, Some(&meta));
-        Some(meta)
+        let updated = {
+            let mut shard = self.shard_of(key).write();
+            let entry = shard.map.get_mut(key)?;
+            let seq = self.next_seq();
+            let mut order = self.order.write();
+            let mut aggregates = self.aggregates.write();
+            index_remove(&mut order, &mut aggregates, key, &entry.meta, entry.seq);
+            f(&mut entry.meta);
+            entry.seq = seq;
+            index_insert(&mut order, &mut aggregates, key, &entry.meta, seq);
+            entry.meta.clone()
+        };
+        self.persist(key, Some(&updated));
+        Some(updated)
     }
 
     /// Records an access (touch) at `now`, refreshing LRU ordering.
@@ -161,29 +266,50 @@ impl Registry {
 
     /// Removes an object entirely.
     pub fn remove(&self, key: &ObjectKey) -> Option<ObjectMeta> {
-        let mut inner = self.inner.write();
-        let meta = inner.map.remove(key)?;
-        Inner::index_remove(&mut inner, key, &meta);
-        inner.key_seq.remove(key);
-        drop(inner);
+        let meta = {
+            let mut shard = self.shard_of(key).write();
+            let entry = shard.map.remove(key)?;
+            let mut order = self.order.write();
+            let mut aggregates = self.aggregates.write();
+            index_remove(&mut order, &mut aggregates, key, &entry.meta, entry.seq);
+            entry.meta
+        };
+        self.count.fetch_sub(1, Ordering::AcqRel);
         self.persist(key, None);
         Some(meta)
     }
 
     /// Aggregates for a tier (zeros if the tier holds nothing).
     pub fn aggregates(&self, tier: &str) -> TierAggregates {
-        self.inner
+        self.aggregates
             .read()
-            .aggregates
             .get(tier)
             .copied()
             .unwrap_or_default()
     }
 
+    /// Recomputes a tier's aggregates from scratch by sweeping every shard
+    /// (O(n)). This is the audit the incremental counters are checked
+    /// against in tests; production code reads [`aggregates`](Self::aggregates).
+    pub fn recount_aggregates(&self, tier: &str) -> TierAggregates {
+        let mut agg = TierAggregates::default();
+        for shard in &self.shards {
+            for entry in shard.read().map.values() {
+                if entry.meta.locations.contains(tier) {
+                    agg.objects += 1;
+                    if entry.meta.dirty {
+                        agg.dirty_bytes += entry.meta.stored_size;
+                    }
+                }
+            }
+        }
+        agg
+    }
+
     /// The least recently accessed object in `tier`.
     pub fn oldest_in(&self, tier: &str) -> Option<ObjectKey> {
-        let inner = self.inner.read();
-        inner
+        let order = self.order.read();
+        order
             .tier_order
             .get(tier)
             .and_then(|m| m.values().next().cloned())
@@ -191,27 +317,41 @@ impl Registry {
 
     /// The most recently accessed object in `tier`.
     pub fn newest_in(&self, tier: &str) -> Option<ObjectKey> {
-        let inner = self.inner.read();
-        inner
+        let order = self.order.read();
+        order
             .tier_order
             .get(tier)
             .and_then(|m| m.values().next_back().cloned())
     }
 
-    /// Every key currently located in `tier`, oldest first.
+    /// Visits every key currently located in `tier`, oldest first, without
+    /// materializing a key vector. The visitor runs under the order-index
+    /// read lock: it must not call back into registry mutators (lock
+    /// order would invert) — collect first if mutation is needed.
+    pub fn for_each_in(&self, tier: &str, mut f: impl FnMut(&ObjectKey)) {
+        let order = self.order.read();
+        if let Some(m) = order.tier_order.get(tier) {
+            for key in m.values() {
+                f(key);
+            }
+        }
+    }
+
+    /// Every key currently located in `tier`, oldest first. Materializing
+    /// convenience over [`for_each_in`](Self::for_each_in) — prefer the
+    /// visitor when the keys are only read, not kept.
     pub fn keys_in(&self, tier: &str) -> Vec<ObjectKey> {
-        let inner = self.inner.read();
-        inner
-            .tier_order
-            .get(tier)
-            .map(|m| m.values().cloned().collect())
-            .unwrap_or_default()
+        let mut keys = Vec::new();
+        self.for_each_in(tier, |k| keys.push(k.clone()));
+        keys
     }
 
     /// Evaluates a selector to a concrete key set.
     ///
     /// `inserted` supplies the meaning of [`Selector::Inserted`] in action
-    /// contexts.
+    /// contexts. Index-backed selectors (`All`, `InTier`, `Dirty`,
+    /// `OldestIn`/`NewestIn`, hot/cold) never sweep the object map; only
+    /// `Tagged` scans, and it scans shard-by-shard without a global lock.
     pub fn select(
         &self,
         selector: &Selector,
@@ -227,46 +367,34 @@ impl Registry {
                     Vec::new()
                 }
             }
-            Selector::All => self.inner.read().map.keys().cloned().collect(),
+            Selector::All => {
+                let order = self.order.read();
+                order.access_order.values().cloned().collect()
+            }
             Selector::InTier(t) => self.keys_in(t),
             Selector::Dirty => {
-                let inner = self.inner.read();
-                inner
-                    .map
-                    .iter()
-                    .filter(|(_, m)| m.dirty)
-                    .map(|(k, _)| k.clone())
-                    .collect()
+                let order = self.order.read();
+                order.dirty_order.values().cloned().collect()
             }
             Selector::Tagged(tag) => {
-                let inner = self.inner.read();
-                inner
-                    .map
-                    .iter()
-                    .filter(|(_, m)| m.has_tag(tag))
-                    .map(|(k, _)| k.clone())
-                    .collect()
+                // Tags carry no index (they are rare, write-once classes);
+                // scan shard by shard and return in access order so the
+                // result is deterministic.
+                let mut hits: Vec<(u64, ObjectKey)> = Vec::new();
+                for shard in &self.shards {
+                    for (key, entry) in shard.read().map.iter() {
+                        if entry.meta.has_tag(tag) {
+                            hits.push((entry.seq, key.clone()));
+                        }
+                    }
+                }
+                hits.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                hits.into_iter().map(|(_, k)| k).collect()
             }
             Selector::OldestIn(t) => self.oldest_in(t).into_iter().collect(),
             Selector::NewestIn(t) => self.newest_in(t).into_iter().collect(),
-            Selector::HotterThan(bound) => {
-                let inner = self.inner.read();
-                inner
-                    .map
-                    .iter()
-                    .filter(|(_, m)| m.access_frequency(now) >= *bound)
-                    .map(|(k, _)| k.clone())
-                    .collect()
-            }
-            Selector::ColderThan(bound) => {
-                let inner = self.inner.read();
-                inner
-                    .map
-                    .iter()
-                    .filter(|(_, m)| m.access_frequency(now) < *bound)
-                    .map(|(k, _)| k.clone())
-                    .collect()
-            }
+            Selector::HotterThan(bound) => self.select_hot(*bound, now),
+            Selector::ColderThan(bound) => self.select_cold(*bound, now),
             Selector::And(a, b) => {
                 // Evaluate the narrower side as a key set and the other as
                 // a per-key predicate; this keeps hot-path conjunctions
@@ -289,6 +417,59 @@ impl Registry {
                 base.into_iter().filter(|k| !excluded.contains(k)).collect()
             }
         }
+    }
+
+    /// `HotterThan`: walk the frequency index from the high-count end.
+    ///
+    /// `freq = count / age ≥ bound` requires `count ≥ bound · age`, and
+    /// every object's age is at least `now - max_created`; once the walk
+    /// reaches counts below `bound · (now - max_created)` no colder entry
+    /// can qualify and it stops. Worst case (every object hot) is O(hits).
+    fn select_hot(&self, bound: f64, now: SimTime) -> Vec<ObjectKey> {
+        let order = self.order.read();
+        if bound <= 0.0 {
+            return order.access_order.values().cloned().collect();
+        }
+        let min_age = now.since(order.max_created.min(now)).as_secs_f64().max(1e-9);
+        let floor = bound * min_age;
+        let mut hits = Vec::new();
+        for (&(count, ref key), &created) in order.freq_index.iter().rev() {
+            if (count as f64) < floor {
+                break;
+            }
+            let age = now.since(created.min(now)).as_secs_f64().max(1e-9);
+            if count as f64 / age >= bound {
+                hits.push(key.clone());
+            }
+        }
+        hits
+    }
+
+    /// `ColderThan`: walk the frequency index from the low-count end; stop
+    /// once `count ≥ bound · (now - min_created)` (the maximum possible
+    /// age), past which no entry can still be cold.
+    fn select_cold(&self, bound: f64, now: SimTime) -> Vec<ObjectKey> {
+        let order = self.order.read();
+        if bound <= 0.0 {
+            return Vec::new();
+        }
+        let max_age = if order.min_created > now {
+            1e-9
+        } else {
+            now.since(order.min_created).as_secs_f64().max(1e-9)
+        };
+        let ceiling = bound * max_age;
+        let mut hits = Vec::new();
+        for (&(count, ref key), &created) in order.freq_index.iter() {
+            if count as f64 >= ceiling {
+                break;
+            }
+            let age = now.since(created.min(now)).as_secs_f64().max(1e-9);
+            if (count as f64 / age) < bound {
+                hits.push(key.clone());
+            }
+        }
+        hits
     }
 
     /// Whether a selector resolves to at most a handful of keys.
@@ -341,14 +522,14 @@ impl Registry {
     /// becomes its physical key and `None` is returned; otherwise the
     /// existing physical key is returned and its refcount incremented.
     pub fn dedup_acquire(&self, digest: Digest, physical: ObjectKey) -> Option<ObjectKey> {
-        let mut inner = self.inner.write();
-        match inner.dedup.get_mut(&digest) {
+        let mut dedup = self.dedup.lock();
+        match dedup.get_mut(&digest) {
             Some((existing, refs)) => {
                 *refs += 1;
                 Some(existing.clone())
             }
             None => {
-                inner.dedup.insert(digest, (physical, 1));
+                dedup.insert(digest, (physical, 1));
                 None
             }
         }
@@ -357,12 +538,12 @@ impl Registry {
     /// Releases one reference to `digest`; returns the physical key when
     /// the last reference is dropped (the caller then deletes the bytes).
     pub fn dedup_release(&self, digest: &Digest) -> Option<ObjectKey> {
-        let mut inner = self.inner.write();
-        if let Some((physical, refs)) = inner.dedup.get_mut(digest) {
+        let mut dedup = self.dedup.lock();
+        if let Some((physical, refs)) = dedup.get_mut(digest) {
             *refs -= 1;
             if *refs == 0 {
                 let physical = physical.clone();
-                inner.dedup.remove(digest);
+                dedup.remove(digest);
                 return Some(physical);
             }
         }
@@ -371,41 +552,62 @@ impl Registry {
 
     /// Physical key behind `digest`, if registered.
     pub fn dedup_lookup(&self, digest: &Digest) -> Option<ObjectKey> {
-        self.inner.read().dedup.get(digest).map(|(k, _)| k.clone())
+        self.dedup.lock().get(digest).map(|(k, _)| k.clone())
     }
 }
 
-impl Inner {
-    fn index_insert(inner: &mut Inner, key: &ObjectKey, meta: &ObjectMeta) {
-        inner.seq += 1;
-        let seq = inner.seq;
-        inner.key_seq.insert(key.clone(), seq);
-        for tier in &meta.locations {
-            inner
-                .tier_order
-                .entry(tier.clone())
-                .or_default()
-                .insert(seq, key.clone());
-            let agg = inner.aggregates.entry(tier.clone()).or_default();
-            agg.objects += 1;
-            if meta.dirty {
-                agg.dirty_bytes += meta.stored_size;
-            }
+/// Links `key` into every order index and bumps the aggregates. Caller
+/// holds the key's shard lock plus both index write guards (lock order:
+/// shard → order → aggregates).
+fn index_insert(
+    order: &mut OrderIndexes,
+    aggregates: &mut FxHashMap<String, TierAggregates>,
+    key: &ObjectKey,
+    meta: &ObjectMeta,
+    seq: u64,
+) {
+    order.access_order.insert(seq, key.clone());
+    if meta.dirty {
+        order.dirty_order.insert(seq, key.clone());
+    }
+    order.freq_index.insert((meta.access_count, key.clone()), meta.created);
+    order.max_created = order.max_created.max(meta.created);
+    order.min_created = order.min_created.min(meta.created);
+    for tier in &meta.locations {
+        order
+            .tier_order
+            .entry(tier.clone())
+            .or_default()
+            .insert(seq, key.clone());
+        let agg = aggregates.entry(tier.clone()).or_default();
+        agg.objects += 1;
+        if meta.dirty {
+            agg.dirty_bytes += meta.stored_size;
         }
     }
+}
 
-    fn index_remove(inner: &mut Inner, key: &ObjectKey, meta: &ObjectMeta) {
-        if let Some(seq) = inner.key_seq.get(key) {
-            for tier in &meta.locations {
-                if let Some(order) = inner.tier_order.get_mut(tier) {
-                    order.remove(seq);
-                }
-                if let Some(agg) = inner.aggregates.get_mut(tier) {
-                    agg.objects = agg.objects.saturating_sub(1);
-                    if meta.dirty {
-                        agg.dirty_bytes = agg.dirty_bytes.saturating_sub(meta.stored_size);
-                    }
-                }
+/// Unlinks `key` from every order index and drops its aggregates. Same
+/// locking contract as [`index_insert`]. The `created` bounds stay put —
+/// they are monotone and only need to bound the *live* set conservatively.
+fn index_remove(
+    order: &mut OrderIndexes,
+    aggregates: &mut FxHashMap<String, TierAggregates>,
+    key: &ObjectKey,
+    meta: &ObjectMeta,
+    seq: u64,
+) {
+    order.access_order.remove(&seq);
+    order.dirty_order.remove(&seq);
+    order.freq_index.remove(&(meta.access_count, key.clone()));
+    for tier in &meta.locations {
+        if let Some(tier_map) = order.tier_order.get_mut(tier) {
+            tier_map.remove(&seq);
+        }
+        if let Some(agg) = aggregates.get_mut(tier) {
+            agg.objects = agg.objects.saturating_sub(1);
+            if meta.dirty {
+                agg.dirty_bytes = agg.dirty_bytes.saturating_sub(meta.stored_size);
             }
         }
     }
@@ -415,6 +617,7 @@ impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Registry")
             .field("objects", &self.len())
+            .field("shards", &SHARD_COUNT)
             .field("persistent", &self.store.is_some())
             .finish()
     }
@@ -535,6 +738,124 @@ mod tests {
         assert_eq!(hots, vec![hot]);
         let colds = r.select(&Selector::ColderThan(5.0), None, now);
         assert_eq!(colds, vec![cold]);
+    }
+
+    #[test]
+    fn hot_cold_partition_is_exact() {
+        // The index walk with early stopping must agree exactly with the
+        // brute-force per-object predicate, across varied ages and counts.
+        let r = Registry::in_memory();
+        for i in 0..40u64 {
+            let k = ObjectKey::new(format!("o{i}"));
+            r.upsert(k.clone(), meta_in("t1", 1, SimTime::from_secs(i % 7)));
+            for _ in 0..(i % 11) {
+                r.touch(&k, SimTime::from_secs(8));
+            }
+        }
+        let now = SimTime::from_secs(9);
+        for bound in [0.0, 0.1, 0.5, 1.0, 2.0] {
+            let mut hot = r.select(&Selector::HotterThan(bound), None, now);
+            let mut cold = r.select(&Selector::ColderThan(bound), None, now);
+            let mut brute_hot = Vec::new();
+            let mut brute_cold = Vec::new();
+            for k in r.select(&Selector::All, None, now) {
+                if r.get(&k).unwrap().access_frequency(now) >= bound {
+                    brute_hot.push(k);
+                } else {
+                    brute_cold.push(k);
+                }
+            }
+            hot.sort();
+            cold.sort();
+            brute_hot.sort();
+            brute_cold.sort();
+            assert_eq!(hot, brute_hot, "bound {bound}");
+            assert_eq!(cold, brute_cold, "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn all_and_dirty_return_access_order() {
+        let r = Registry::in_memory();
+        for name in ["a", "b", "c"] {
+            let mut m = meta_in("t1", 1, SimTime::ZERO);
+            m.dirty = true;
+            r.upsert(ObjectKey::new(name), m);
+        }
+        r.touch(&ObjectKey::new("a"), SimTime::from_secs(1));
+        let all: Vec<String> = r
+            .select(&Selector::All, None, SimTime::from_secs(1))
+            .iter()
+            .map(|k| k.as_str().to_string())
+            .collect();
+        assert_eq!(all, vec!["b", "c", "a"], "oldest access first");
+        let dirty = r.select(&Selector::Dirty, None, SimTime::from_secs(1));
+        assert_eq!(dirty.len(), 3);
+        assert_eq!(dirty[0].as_str(), "b");
+    }
+
+    #[test]
+    fn for_each_in_visits_in_lru_order_without_cloning_vecs() {
+        let r = Registry::in_memory();
+        for name in ["a", "b", "c"] {
+            r.upsert(ObjectKey::new(name), meta_in("t1", 1, SimTime::ZERO));
+        }
+        r.touch(&ObjectKey::new("b"), SimTime::from_secs(1));
+        let mut seen = Vec::new();
+        r.for_each_in("t1", |k| seen.push(k.as_str().to_string()));
+        assert_eq!(seen, vec!["a", "c", "b"]);
+        let mut none = 0;
+        r.for_each_in("no-such-tier", |_| none += 1);
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn recount_matches_incremental_aggregates() {
+        let r = Registry::in_memory();
+        for i in 0..50u64 {
+            let mut m = meta_in(if i % 2 == 0 { "t1" } else { "t2" }, i + 1, SimTime::ZERO);
+            m.dirty = i % 3 == 0;
+            r.upsert(ObjectKey::new(format!("k{i}")), m);
+        }
+        for i in (0..50u64).step_by(5) {
+            r.remove(&ObjectKey::new(format!("k{i}")));
+        }
+        for i in (1..50u64).step_by(7) {
+            r.update(&ObjectKey::new(format!("k{i}")), |m| m.dirty = !m.dirty);
+        }
+        for tier in ["t1", "t2"] {
+            assert_eq!(r.aggregates(tier), r.recount_aggregates(tier), "{tier}");
+        }
+    }
+
+    #[test]
+    fn concurrent_shard_ops_keep_indexes_consistent() {
+        use std::sync::Arc;
+        let r = Arc::new(Registry::in_memory());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let k = ObjectKey::new(format!("t{t}-k{i}"));
+                        let mut m = meta_in("t1", 8, SimTime::ZERO);
+                        m.dirty = true;
+                        r.upsert(k.clone(), m);
+                        r.touch(&k, SimTime::from_secs(i));
+                        if i % 3 == 0 {
+                            r.remove(&k);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.aggregates("t1"), r.recount_aggregates("t1"));
+        assert_eq!(r.len() as u64, r.recount_aggregates("t1").objects);
+        // The tier order index holds exactly the live keys.
+        assert_eq!(r.keys_in("t1").len(), r.len());
     }
 
     #[test]

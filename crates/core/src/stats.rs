@@ -1,10 +1,27 @@
 //! Instance statistics: latency histograms, per-tier hit counters, and
 //! event-dispatch counters (used by the overhead experiment, Figure 18).
+//!
+//! The counters sit on the client hot path (every PUT/GET records here), so
+//! the implementation is contention-free where it can be and striped where
+//! it cannot:
+//!
+//! * dispatch counters are plain `AtomicU64`s — one `fetch_add`, no lock;
+//! * latency histograms and tier hit counts are striped across
+//!   [`STRIPES`] independently-locked slots picked by thread identity, so
+//!   concurrent request threads record into different stripes and never
+//!   serialize against each other. Readers merge the stripes on demand —
+//!   reads are rare (experiment reporting), writes are constant.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use tiera_support::collections::{fx_hash_one, FxHashMap};
 use tiera_support::sync::Mutex;
 use tiera_sim::{Histogram, SimDuration};
+
+/// Number of latency-recording stripes. Matches the largest request pool
+/// the RPC server runs by default; more threads than stripes just share.
+const STRIPES: usize = 8;
 
 /// Snapshot of one histogram's key numbers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,82 +36,125 @@ pub struct LatencySummary {
     pub max: SimDuration,
 }
 
+/// One stripe of lock-protected latency state.
 #[derive(Default)]
-struct StatsInner {
+struct Stripe {
     reads: Histogram,
     writes: Histogram,
-    tier_read_hits: HashMap<String, u64>,
-    events_fired: u64,
-    responses_run: u64,
-    background_queued: u64,
+    tier_read_hits: FxHashMap<String, u64>,
 }
 
 /// Thread-safe statistics collected by an instance.
-#[derive(Default)]
 pub struct InstanceStats {
-    inner: Mutex<StatsInner>,
+    stripes: Vec<Mutex<Stripe>>,
+    events_fired: AtomicU64,
+    responses_run: AtomicU64,
+    background_queued: AtomicU64,
+}
+
+impl Default for InstanceStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl InstanceStats {
     /// Creates empty statistics.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            stripes: (0..STRIPES).map(|_| Mutex::new(Stripe::default())).collect(),
+            events_fired: AtomicU64::new(0),
+            responses_run: AtomicU64::new(0),
+            background_queued: AtomicU64::new(0),
+        }
+    }
+
+    /// The calling thread's stripe. Thread identity keeps a steady request
+    /// thread on one stripe, so its samples stay cache-warm.
+    fn stripe(&self) -> &Mutex<Stripe> {
+        let h = fx_hash_one(&std::thread::current().id());
+        &self.stripes[(h % STRIPES as u64) as usize]
     }
 
     /// Records a client read and the tier that served it.
     pub fn record_read(&self, latency: SimDuration, tier: &str) {
-        let mut g = self.inner.lock();
+        let mut g = self.stripe().lock();
         g.reads.record(latency);
-        *g.tier_read_hits.entry(tier.to_string()).or_default() += 1;
+        match g.tier_read_hits.get_mut(tier) {
+            Some(n) => *n += 1,
+            None => {
+                g.tier_read_hits.insert(tier.to_string(), 1);
+            }
+        }
     }
 
     /// Records a client write.
     pub fn record_write(&self, latency: SimDuration) {
-        self.inner.lock().writes.record(latency);
+        self.stripe().lock().writes.record(latency);
     }
 
     /// Counts an event firing.
     pub fn record_event(&self) {
-        self.inner.lock().events_fired += 1;
+        self.events_fired.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts a response execution.
     pub fn record_response(&self) {
-        self.inner.lock().responses_run += 1;
+        self.responses_run.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts a background enqueue.
     pub fn record_background(&self) {
-        self.inner.lock().background_queued += 1;
+        self.background_queued.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Read-latency summary.
+    /// Read-latency summary (stripes merged).
     pub fn reads(&self) -> LatencySummary {
-        let g = self.inner.lock();
-        summarize(&g.reads)
+        summarize(&self.merged(|s| &s.reads))
     }
 
-    /// Write-latency summary.
+    /// Write-latency summary (stripes merged).
     pub fn writes(&self) -> LatencySummary {
-        let g = self.inner.lock();
-        summarize(&g.writes)
+        summarize(&self.merged(|s| &s.writes))
     }
 
-    /// Reads served per tier.
+    /// Reads served per tier (stripes merged).
     pub fn tier_read_hits(&self) -> HashMap<String, u64> {
-        self.inner.lock().tier_read_hits.clone()
+        let mut merged: HashMap<String, u64> = HashMap::new();
+        for stripe in &self.stripes {
+            let g = stripe.lock();
+            for (tier, n) in &g.tier_read_hits {
+                *merged.entry(tier.clone()).or_default() += n;
+            }
+        }
+        merged
     }
 
     /// `(events fired, responses run, background queued)`.
     pub fn dispatch_counters(&self) -> (u64, u64, u64) {
-        let g = self.inner.lock();
-        (g.events_fired, g.responses_run, g.background_queued)
+        (
+            self.events_fired.load(Ordering::Relaxed),
+            self.responses_run.load(Ordering::Relaxed),
+            self.background_queued.load(Ordering::Relaxed),
+        )
     }
 
     /// Clears all statistics (between experiment phases).
     pub fn reset(&self) {
-        let mut g = self.inner.lock();
-        *g = StatsInner::default();
+        for stripe in &self.stripes {
+            *stripe.lock() = Stripe::default();
+        }
+        self.events_fired.store(0, Ordering::Relaxed);
+        self.responses_run.store(0, Ordering::Relaxed);
+        self.background_queued.store(0, Ordering::Relaxed);
+    }
+
+    fn merged(&self, pick: impl Fn(&Stripe) -> &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for stripe in &self.stripes {
+            out.merge(pick(&stripe.lock()));
+        }
+        out
     }
 }
 
@@ -145,5 +205,30 @@ mod tests {
         s.reset();
         assert_eq!(s.dispatch_counters(), (0, 0, 0));
         assert_eq!(s.reads().count, 0);
+    }
+
+    #[test]
+    fn striped_recording_merges_across_threads() {
+        use std::sync::Arc;
+        let s = Arc::new(InstanceStats::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        s.record_read(SimDuration::from_micros(i + 1), "cache");
+                        s.record_write(SimDuration::from_micros(t * 10 + 1));
+                        s.record_event();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(s.reads().count, 800);
+        assert_eq!(s.writes().count, 800);
+        assert_eq!(s.tier_read_hits()["cache"], 800);
+        assert_eq!(s.dispatch_counters().0, 800);
     }
 }

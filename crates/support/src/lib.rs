@@ -9,6 +9,8 @@
 //!   (replaces the `bytes` crate).
 //! * [`sync`] — non-poisoning [`sync::Mutex`] / [`sync::RwLock`] wrappers
 //!   over `std::sync` (replaces the `parking_lot` API surface used).
+//! * [`collections`] — [`collections::FxHashMap`] et al.: deterministic
+//!   fast-hash maps for metadata hot paths (replaces `rustc-hash`/`fxhash`).
 //! * [`channel`] — an unbounded mpmc channel with cloneable senders *and*
 //!   receivers (replaces `crossbeam::channel`).
 //! * [`rng`] — [`rng::SimRng`], the workspace's single deterministic
@@ -31,6 +33,7 @@
 pub mod bench;
 pub mod bytes;
 pub mod channel;
+pub mod collections;
 pub mod prop;
 pub mod rng;
 pub mod sync;

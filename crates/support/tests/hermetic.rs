@@ -217,3 +217,44 @@ fn std_sync_locks_only_in_support() {
         violations.join("\n  ")
     );
 }
+
+#[test]
+fn registry_hot_path_uses_fx_hash_maps() {
+    // The sharded registry hashes every key twice per operation (shard
+    // pick + in-shard probe); `tiera_support::collections::FxHashMap` is
+    // the sanctioned map type there — a default-hashed
+    // `std::collections::HashMap` would silently reintroduce SipHash *and*
+    // per-process-random iteration order, which previously made experiment
+    // output drift run to run. Exemption: `matches`/`select` may build a
+    // transient `HashSet` for `Not`-complement evaluation (attacker-ignorant,
+    // not per-key hot), and every crate other than the registry keeps
+    // default hashing for DoS resistance.
+    let registry = workspace_root()
+        .join("crates")
+        .join("core")
+        .join("src")
+        .join("registry.rs");
+    let text =
+        fs::read_to_string(&registry).unwrap_or_else(|e| panic!("read {registry:?}: {e}"));
+    let mut violations = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with("//") {
+            continue;
+        }
+        // A bare `HashMap<` (not Fx-prefixed, not explicitly parameterized
+        // with a hasher) in the registry is a default-hashed map.
+        if line.contains("HashMap<") && !line.contains("FxHashMap<") {
+            violations.push(format!("{}:{}: {line}", registry.display(), i + 1));
+        }
+        if line.contains("use std::collections::HashMap") {
+            violations.push(format!("{}:{}: {line}", registry.display(), i + 1));
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "default-hashed HashMap in the registry hot path \
+         (use `tiera_support::collections::FxHashMap`):\n  {}",
+        violations.join("\n  ")
+    );
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Hot-path benchmark runner + report schema gate.
+#
+# Runs the wall-clock `tiera-bench hotpath` suite in quick mode (short
+# measurement windows — validates the harness, not the numbers) and checks
+# the emitted report against the BENCH_pr3.json schema. Pass --full to run
+# the real measurement windows and refresh the committed BENCH_pr3.json.
+#
+# The schema check is structural only: CI boxes differ wildly in speed, so
+# no timing thresholds are asserted here. Scaling claims live in the
+# committed BENCH_pr3.json alongside its recorded `meta.cores`.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="--quick"
+OUT="$(mktemp -t tiera-bench-XXXXXX.json)"
+trap 'rm -f "$OUT"' EXIT
+
+if [[ "${1:-}" == "--full" ]]; then
+    MODE=""
+    OUT="BENCH_pr3.json"
+    trap - EXIT
+fi
+
+echo "==> cargo build --release --offline -p tiera-bench"
+cargo build --release --offline -p tiera-bench
+
+echo "==> tiera-bench hotpath ${MODE:-(full)} --out $OUT"
+# shellcheck disable=SC2086
+./target/release/tiera-bench hotpath $MODE --out "$OUT"
+
+echo "==> tiera-bench check $OUT (schema gate)"
+./target/release/tiera-bench check "$OUT"
+
+echo "==> tiera-bench check BENCH_pr3.json (committed report stays valid)"
+./target/release/tiera-bench check BENCH_pr3.json
+
+echo "bench: OK"

@@ -23,4 +23,7 @@ cargo test -q
 echo "==> tiera-lint --deny-warnings specs/ (spec analyzer gate)"
 cargo run -q --release --offline --bin tiera-lint -- --deny-warnings --quiet specs/*.tiera
 
+echo "==> bench smoke (quick mode; schema only, no timing assertions)"
+./scripts/bench.sh
+
 echo "verify: OK"
