@@ -2,24 +2,27 @@
 //!
 //! ```text
 //! tiera-bench hotpath [--quick] [--out BENCH_pr3.json]
+//! tiera-bench chaos [--quick] [--seed N] [--out BENCH_chaos.json]
 //! tiera-bench check <report.json>
 //! ```
 //!
 //! `hotpath` measures real-CPU throughput of the metadata hot path and
-//! writes the `BENCH_pr3.json` report; `check` validates an existing
-//! report against the schema (used by `scripts/bench.sh` so the committed
-//! artifact can't rot). The figure experiments remain under the
-//! `experiments` binary — those are virtual-time and deterministic; this
-//! one is wall-clock by design.
+//! writes the `BENCH_pr3.json` report; `chaos` drives the deterministic
+//! chaos scenarios at one seed and writes a replayable JSON summary;
+//! `check` validates an existing report against its schema (dispatched on
+//! the report's `bench` field, used by `scripts/bench.sh` and the chaos
+//! smoke step so committed artifacts can't rot). The figure experiments
+//! remain under the `experiments` binary — those are virtual-time and
+//! deterministic; `hotpath` is wall-clock by design.
 
 use std::process::ExitCode;
 
-use tiera_bench::hotpath;
 use tiera_bench::json::Value;
+use tiera_bench::{chaos_report, hotpath};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  tiera-bench hotpath [--quick] [--out PATH]\n  tiera-bench check <report.json>"
+        "usage:\n  tiera-bench hotpath [--quick] [--out PATH]\n  tiera-bench chaos [--quick] [--seed N] [--out PATH]\n  tiera-bench check <report.json>"
     );
     ExitCode::FAILURE
 }
@@ -53,6 +56,43 @@ fn main() -> ExitCode {
             eprintln!("wrote {out}");
             ExitCode::SUCCESS
         }
+        Some("chaos") => {
+            let mut quick = false;
+            let mut seed = 1u64;
+            let mut out = String::from("BENCH_chaos.json");
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--quick" => quick = true,
+                    "--seed" => match rest.next().and_then(|s| s.parse().ok()) {
+                        Some(n) => seed = n,
+                        None => return usage(),
+                    },
+                    "--out" => match rest.next() {
+                        Some(path) => out = path.clone(),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            eprintln!(
+                "chaos: seed={seed}{} (replay with: tiera-bench chaos --seed {seed})",
+                if quick { " (quick mode)" } else { "" }
+            );
+            let report = chaos_report::run(&chaos_report::Options { quick, seed });
+            if let Err(e) = std::fs::write(&out, report.to_pretty()) {
+                eprintln!("write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {out}");
+            match chaos_report::validate(&report) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("chaos run failed invariants: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("check") => {
             let Some(path) = args.get(1) else {
                 return usage();
@@ -71,7 +111,11 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match hotpath::validate(&report) {
+            let outcome = match report.get("bench").and_then(Value::as_str) {
+                Some("chaos") => chaos_report::validate(&report),
+                _ => hotpath::validate(&report),
+            };
+            match outcome {
                 Ok(()) => {
                     println!("{path}: ok");
                     ExitCode::SUCCESS

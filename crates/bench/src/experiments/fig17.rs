@@ -5,22 +5,30 @@
 //! and requests instance reconfiguration [to Ephemeral Storage + S3]...
 //! throughput drops to zero between t = 4 mins to t = 6 mins [and] is
 //! subsequently restored back to its original value by t = 7 mins."
+//!
+//! The outage is expressed through the chaos harness's declarative
+//! [`FaultSchedule`] (an open-ended EBS write outage at t = 245 s), so the
+//! figure and the chaos suite exercise the same fault plane. The rendered
+//! output is deterministic and golden-tested against
+//! `experiments_output.txt`.
 
+use std::fmt::Write as _;
 use std::sync::Arc;
 
+use tiera_chaos::schedule::FaultSchedule;
 use tiera_core::event::{ActionOp, EventKind};
 use tiera_core::monitor::FailureMonitor;
 use tiera_core::response::ResponseSpec;
 use tiera_core::selector::Selector;
 use tiera_core::{InstanceBuilder, Rule};
-use tiera_sim::{FailureWindow, SimDuration, SimEnv, SimTime};
+use tiera_sim::{FailureKind, SimDuration, SimEnv, SimTime};
 use tiera_tiers::{BlockTier, EphemeralTier, MemoryTier, ObjectStoreTier};
 
 use crate::deployments::{GB, MB};
 use crate::table::Table;
 
-/// Runs the Figure 17 timeline.
-pub fn run() {
+/// Runs the Figure 17 timeline and renders the full, deterministic output.
+pub fn render() -> String {
     let env = SimEnv::new(1700);
     let ebs = Arc::new(BlockTier::ebs("ebs", 512 * MB, &env));
     let instance = InstanceBuilder::new("failover", env.clone())
@@ -34,9 +42,16 @@ pub fn run() {
         )
         .build()
         .expect("builds");
-    // Outage just after the monitor's 4-minute probe.
-    ebs.failures()
-        .schedule(FailureWindow::write_outage(SimTime::from_secs(245)));
+    // Outage just after the monitor's 4-minute probe, via the fault
+    // schedule (equivalent to `FailureWindow::write_outage(245 s)`).
+    FaultSchedule::new(1700)
+        .outage(
+            "ebs",
+            SimTime::from_secs(245),
+            None,
+            FailureKind::Writes,
+        )
+        .apply(&[("ebs", ebs.failures())]);
 
     let env2 = env.clone();
     let mut monitor = FailureMonitor::every_two_minutes(Arc::clone(&instance), move |inst| {
@@ -59,7 +74,8 @@ pub fn run() {
         ]);
     });
 
-    println!("YCSB-style write-only 4 KB client over a 10-minute window\n");
+    let mut out = String::new();
+    out.push_str("YCSB-style write-only 4 KB client over a 10-minute window\n\n");
     let mut table = Table::new(["time (min)", "throughput (ops/s)", "event"]);
     let deadline = SimTime::from_secs(600);
     let bucket = SimDuration::from_secs(30);
@@ -107,11 +123,18 @@ pub fn run() {
             next_bucket += bucket;
         }
     }
-    table.print();
-    println!(
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
         "\nreconfigured at t = {:.1} min; final tiers: {:?}",
         reconfigured_at.map(|r| r.as_secs_f64() / 60.0).unwrap_or(f64::NAN),
         instance.tier_names()
     );
-    println!("(paper: throughput 0 between ~4 and ~6 min, restored by ~7 min)");
+    out.push_str("(paper: throughput 0 between ~4 and ~6 min, restored by ~7 min)\n");
+    out
+}
+
+/// Runs the Figure 17 timeline, printing the rendered output.
+pub fn run() {
+    print!("{}", render());
 }

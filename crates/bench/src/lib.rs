@@ -21,6 +21,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos_report;
 pub mod deployments;
 pub mod experiments;
 pub mod hotpath;

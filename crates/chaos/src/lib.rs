@@ -1,0 +1,34 @@
+//! # tiera-chaos — deterministic simulation testing
+//!
+//! The paper's robustness claims (§4.2.3, Figure 17) are demonstrated with
+//! one hand-written outage. This crate turns that demonstration into a
+//! harness: seed-driven *fault schedules* over the
+//! [`tiera_sim::FailureInjector`] fault plane, YCSB/OLTP-shaped *chaos
+//! scenarios* that drive an instance through those schedules, and an
+//! *invariant checker* that asserts the storage contract held throughout:
+//!
+//! 1. **No acknowledged write is lost** — every PUT the client saw succeed
+//!    is readable afterwards and returns the acknowledged bytes.
+//! 2. **No phantom metadata** — a brand-new PUT that failed leaves no
+//!    registry entry behind.
+//! 3. **Registry aggregates equal a full recount** for every tier.
+//! 4. **No stranded dirty data** — once the outage clears and write-back
+//!    deadlines pass, nothing dirty remains in a volatile tier.
+//! 5. **Steady state returns** — after the schedule ends, fresh operations
+//!    succeed at normal latency.
+//!
+//! Everything is deterministic in virtual time: a scenario is a pure
+//! function of its seed, every failure report prints that seed, and
+//! re-running with `--seed N` (or [`scenario::run`] with the same config)
+//! replays the identical fault schedule and event log byte for byte.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod invariants;
+pub mod scenario;
+pub mod schedule;
+
+pub use invariants::{InvariantReport, WriteLedger};
+pub use scenario::{ChaosConfig, ChaosOutcome, ScenarioKind};
+pub use schedule::{FaultEvent, FaultSchedule};

@@ -26,10 +26,10 @@
 //! lands in `tier1`, then the write-through rule copies it to `tier2`).
 
 use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use tiera_support::Bytes;
 use tiera_support::sync::{Mutex, RwLock};
+use tiera_support::{Bytes, SimRng};
 
 use tiera_codec::{lzss, ChaCha20, Digest};
 use tiera_sim::bandwidth::BandwidthCap;
@@ -42,6 +42,7 @@ use crate::object::{ObjectKey, Tag};
 use crate::policy::{Policy, Rule, RuleId};
 use crate::registry::Registry;
 use crate::response::{EvictOrder, Guard, ResponseSpec};
+use crate::retry::{FailureAlert, RetryPolicy};
 use crate::selector::Selector;
 use crate::stats::InstanceStats;
 use crate::tier::TierHandle;
@@ -83,6 +84,8 @@ struct PendingWork {
     due: SimTime,
     work: WorkItem,
     inserted: Option<ObjectKey>,
+    /// How many times this item has already failed and been requeued.
+    attempts: u32,
 }
 
 /// Due-ordered background queue: a binary min-heap keyed by
@@ -177,6 +180,17 @@ pub struct Instance {
     /// Figure 18 ablation switch: with the control layer off, PUT/GET go
     /// straight to the default tier with no event evaluation.
     control_layer: AtomicBool,
+    /// In-operation robustness policy (default: single attempt, no
+    /// failover — byte-identical to the pre-retry behavior).
+    retry: RwLock<RetryPolicy>,
+    /// Mirrors `!retry.is_trivial()` so the hot path skips all retry
+    /// bookkeeping (and the `retry` lock) when the policy is the default.
+    retry_active: AtomicBool,
+    /// Seeded jitter stream for backoff schedules (deterministic per env).
+    retry_rng: Mutex<SimRng>,
+    /// FAILURE_ALERT events not yet drained by a monitor.
+    alerts: Mutex<Vec<FailureAlert>>,
+    alerts_total: AtomicU64,
 }
 
 /// Execution context threaded through response execution.
@@ -230,6 +244,15 @@ impl Ctx {
 
 const MAX_CASCADE_DEPTH: u8 = 4;
 
+/// The tier a transient error implicates, for alert reporting.
+fn err_tier(e: &TieraError) -> String {
+    match e {
+        TieraError::Timeout { tier, .. } | TieraError::TierFull { tier, .. } => tier.clone(),
+        TieraError::NoSuchTier(tier) => tier.clone(),
+        _ => String::from("-"),
+    }
+}
+
 /// Effective streaming rate of an *uncapped* background copy: a dedicated
 /// replication thread keeps a moderate queue depth against the source
 /// volume (≈ 4 MB/s of 4 KB objects on a busy 2014 magnetic volume).
@@ -239,6 +262,7 @@ const UNCAPPED_STREAM_RATE: BandwidthCap = BandwidthCap {
 
 impl Instance {
     pub(crate) fn new(name: String, env: SimEnv, tiers: Vec<TierHandle>, policy: Policy, registry: Registry) -> Self {
+        let retry_rng = env.rng_for("retry-policy");
         Self {
             name,
             env,
@@ -249,6 +273,11 @@ impl Instance {
             keyring: RwLock::new(HashMap::new()),
             background: Mutex::new(BackgroundQueue::default()),
             control_layer: AtomicBool::new(true),
+            retry: RwLock::new(RetryPolicy::none()),
+            retry_active: AtomicBool::new(false),
+            retry_rng: Mutex::new(retry_rng),
+            alerts: Mutex::new(Vec::new()),
+            alerts_total: AtomicU64::new(0),
         }
     }
 
@@ -334,6 +363,37 @@ impl Instance {
     /// Enables/disables the control layer (Figure 18's overhead baseline).
     pub fn set_control_layer(&self, enabled: bool) {
         self.control_layer.store(enabled, Ordering::Release);
+    }
+
+    // ---- robustness: retries, failover, FAILURE_ALERT ----
+
+    /// Installs the retry/backoff/failover policy for tier operations.
+    /// The default is [`RetryPolicy::none`]: one attempt, no failover.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.retry_active.store(!policy.is_trivial(), Ordering::Release);
+        *self.retry.write() = policy;
+    }
+
+    /// The currently installed retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry.read().clone()
+    }
+
+    /// Drains the FAILURE_ALERT events accumulated since the last drain
+    /// (a monitor consumes these, see
+    /// [`crate::monitor::FailureMonitor::observing_alerts`]).
+    pub fn drain_alerts(&self) -> Vec<FailureAlert> {
+        std::mem::take(&mut *self.alerts.lock())
+    }
+
+    /// Total FAILURE_ALERT events emitted since construction.
+    pub fn alerts_emitted(&self) -> u64 {
+        self.alerts_total.load(Ordering::Relaxed)
+    }
+
+    fn emit_alert(&self, alert: FailureAlert) {
+        self.alerts_total.fetch_add(1, Ordering::Relaxed);
+        self.alerts.lock().push(alert);
     }
 
     // ---- tier management (runtime add/remove, paper §4.2.3) ----
@@ -479,8 +539,16 @@ impl Instance {
         })();
 
         if let Err(e) = result {
-            // A failed PUT leaves no phantom metadata for brand-new keys.
+            // A failed PUT leaves no phantom state for brand-new keys:
+            // neither metadata nor bytes already placed in some tiers by
+            // the partially-executed placement (which would strand
+            // unreachable data and leak capacity).
             if prior.is_none() {
+                for placed in &ctx.placed_inserted {
+                    if let Ok(tier) = self.tier(placed) {
+                        let _ = tier.delete(&key, ctx.now);
+                    }
+                }
                 self.registry.remove(&key);
             }
             return Err(e);
@@ -668,7 +736,19 @@ impl Instance {
             self.stats.record_event();
             report.timers_fired += 1;
             let mut ctx = Ctx::background(fire_at);
-            self.execute_responses(&responses, &mut ctx)?;
+            if let Err(e) = self.execute_responses(&responses, &mut ctx) {
+                // A failing timer body must not wedge the pump (it used to
+                // abort the drain, stranding every queued item behind it).
+                // The timer refires next period, which is the natural
+                // retry; surface the failure as an alert meanwhile.
+                self.emit_alert(FailureAlert {
+                    at: fire_at,
+                    tier: err_tier(&e),
+                    op: "timer",
+                    failover_to: None,
+                    detail: format!("timer responses failed: {e}"),
+                });
+            }
         }
 
         // Background queue: drain in due order (heap-backed, O(log n)).
@@ -680,7 +760,15 @@ impl Instance {
             ctx.inserted = work.inserted.clone();
             match work.work {
                 WorkItem::Responses(responses) => {
-                    self.execute_responses(&responses, &mut ctx)?;
+                    if let Err(e) = self.execute_responses(&responses, &mut ctx) {
+                        self.requeue_or_drop(
+                            work.due,
+                            WorkItem::Responses(responses),
+                            work.inserted,
+                            work.attempts,
+                            &e,
+                        );
+                    }
                 }
                 WorkItem::PacedCopy {
                     mut keys,
@@ -689,12 +777,33 @@ impl Instance {
                     delete_source,
                 } => {
                     if let Some(key) = keys.pop_front() {
-                        // A copy racing with concurrent overwrites/deletes
-                        // may find an object gone mid-flight; skip it and
-                        // keep draining the rest of the batch.
-                        let moved = self
-                            .copy_single(&key, &to, delete_source, &mut ctx)
-                            .unwrap_or(4096);
+                        let moved = match self.copy_single(&key, &to, delete_source, &mut ctx) {
+                            Ok(moved) => moved,
+                            Err(e) if RetryPolicy::retryable(&e) => {
+                                // Transient destination trouble (timeout,
+                                // full): put the key back and retry the
+                                // whole batch later, against the attempt
+                                // budget.
+                                keys.push_front(key);
+                                self.requeue_or_drop(
+                                    work.due,
+                                    WorkItem::PacedCopy {
+                                        keys,
+                                        to,
+                                        cap,
+                                        delete_source,
+                                    },
+                                    work.inserted,
+                                    work.attempts,
+                                    &e,
+                                );
+                                continue;
+                            }
+                            // A copy racing with concurrent overwrites or
+                            // deletes may find an object gone mid-flight;
+                            // skip it and keep draining the batch.
+                            Err(_) => 4096,
+                        };
                         if !keys.is_empty() {
                             // Pace: the next chunk may only start once this
                             // one's bytes have "drained" at the cap rate.
@@ -707,6 +816,7 @@ impl Instance {
                                     delete_source,
                                 },
                                 inserted: work.inserted,
+                                attempts: 0,
                             });
                         }
                     }
@@ -715,6 +825,41 @@ impl Instance {
         }
 
         Ok(report)
+    }
+
+    /// Requeues failed background work with a deterministic exponential
+    /// delay (no RNG: background retries must not perturb the seeded
+    /// streams), dropping it with an alert once the attempt budget is
+    /// spent. Before this, a failing background item aborted the whole
+    /// pump drain *and* was itself lost.
+    fn requeue_or_drop(
+        &self,
+        due: SimTime,
+        work: WorkItem,
+        inserted: Option<ObjectKey>,
+        attempts: u32,
+        err: &TieraError,
+    ) {
+        const MAX_BACKGROUND_ATTEMPTS: u32 = 8;
+        if attempts + 1 >= MAX_BACKGROUND_ATTEMPTS {
+            self.emit_alert(FailureAlert {
+                at: due,
+                tier: err_tier(err),
+                op: "background",
+                failover_to: None,
+                detail: format!(
+                    "background work dropped after {MAX_BACKGROUND_ATTEMPTS} attempts: {err}"
+                ),
+            });
+            return;
+        }
+        let delay = SimDuration::from_secs(1 << attempts.min(6)).min(SimDuration::from_secs(60));
+        self.background.lock().push(PendingWork {
+            due: due + delay,
+            work,
+            inserted,
+            attempts: attempts + 1,
+        });
     }
 
     /// Queued background work items.
@@ -752,6 +897,7 @@ impl Instance {
             due: ctx.now,
             work: WorkItem::Responses(responses),
             inserted: ctx.inserted.clone(),
+            attempts: 0,
         });
     }
 
@@ -928,18 +1074,42 @@ impl Instance {
         };
         let tiers = self.tiers.read().clone();
         let mut last_err = None;
+        // Per-location retry budget (trivial policy: one attempt, exactly
+        // the old behavior); once a location exhausts it, the read falls
+        // back along the replica/tier chain.
+        let policy = if self.retry_active.load(Ordering::Acquire) {
+            Some(self.retry.read().clone())
+        } else {
+            None
+        };
+        let attempts = policy.as_ref().map(|p| p.max_attempts.max(1)).unwrap_or(1);
         for tier in tiers.iter().filter(|t| loc_meta.locations.contains(t.name())) {
-            match tier.get(&read_key, ctx.now) {
-                Ok((bytes, receipt)) => {
-                    ctx.charge(receipt.latency);
-                    return Ok((bytes, tier.name().to_string()));
+            let mut retry = 0u32;
+            loop {
+                match tier.get(&read_key, ctx.now) {
+                    Ok((bytes, receipt)) => {
+                        ctx.charge(receipt.latency);
+                        return Ok((bytes, tier.name().to_string()));
+                    }
+                    Err(TieraError::Timeout { waited, tier: t }) => {
+                        // Charge the timeout, retry in place while budget
+                        // remains, then fall back to the next location.
+                        ctx.charge(waited);
+                        last_err = Some(TieraError::Timeout { waited, tier: t });
+                        if retry + 1 < attempts {
+                            if let Some(p) = &policy {
+                                ctx.charge(p.backoff(retry, &mut self.retry_rng.lock()));
+                            }
+                            retry += 1;
+                            continue;
+                        }
+                        break;
+                    }
+                    Err(e) => {
+                        last_err = Some(e);
+                        break;
+                    }
                 }
-                Err(TieraError::Timeout { waited, tier: t }) => {
-                    // Charge the timeout and fall back to the next location.
-                    ctx.charge(waited);
-                    last_err = Some(TieraError::Timeout { waited, tier: t });
-                }
-                Err(e) => last_err = Some(e),
             }
         }
         Err(last_err.unwrap_or_else(|| TieraError::LocationsUnavailable(key.to_string())))
@@ -1008,21 +1178,135 @@ impl Instance {
         Ok(())
     }
 
+    /// One tier PUT under the retry policy: bounded attempts with
+    /// exponential backoff in virtual time. Timeout waits and backoffs are
+    /// charged to the context as they occur; the returned latency is the
+    /// successful attempt's own cost (callers take the max across targets).
+    fn tier_put_retrying(
+        &self,
+        tier: &TierHandle,
+        key: &ObjectKey,
+        data: &Bytes,
+        ctx: &mut Ctx,
+    ) -> Result<SimDuration> {
+        if !self.retry_active.load(Ordering::Acquire) {
+            return Ok(tier.put(key, data.clone(), ctx.now)?.latency);
+        }
+        let policy = self.retry.read().clone();
+        let start = ctx.now;
+        let mut retry = 0u32;
+        loop {
+            match tier.put(key, data.clone(), ctx.now) {
+                Ok(receipt) => return Ok(receipt.latency),
+                Err(e) => {
+                    if let TieraError::Timeout { waited, .. } = &e {
+                        // The client sat out the failed attempt.
+                        ctx.charge(*waited);
+                    }
+                    let budget_ok = policy
+                        .op_budget
+                        .map(|b| ctx.now.since(start) < b)
+                        .unwrap_or(true);
+                    if retry + 1 >= policy.max_attempts
+                        || !RetryPolicy::retryable(&e)
+                        || !budget_ok
+                    {
+                        return Err(e);
+                    }
+                    ctx.charge(policy.backoff(retry, &mut self.retry_rng.lock()));
+                    retry += 1;
+                }
+            }
+        }
+    }
+
+    /// Graceful degradation for a PUT whose target exhausted its retries:
+    /// tries the remaining attached writable tiers (durable first, then
+    /// attachment order) and emits a FAILURE_ALERT either way. Returns the
+    /// replacement tier and write latency if one accepted the bytes.
+    fn failover_put(
+        &self,
+        key: &ObjectKey,
+        data: &Bytes,
+        failed: &str,
+        exclude: &[String],
+        ctx: &mut Ctx,
+    ) -> Option<(String, SimDuration)> {
+        let mut candidates: Vec<TierHandle> = self
+            .tiers
+            .read()
+            .iter()
+            .filter(|t| t.name() != failed && !exclude.iter().any(|x| x == t.name()))
+            .cloned()
+            .collect();
+        // Durable tiers first (stable sort keeps attachment order within
+        // each group): degraded writes should stay crash-safe if possible.
+        candidates.sort_by_key(|t| !t.tier_traits().durable);
+        for tier in candidates {
+            if let Ok(latency) = self.tier_put_retrying(&tier, key, data, ctx) {
+                self.emit_alert(FailureAlert {
+                    at: ctx.now,
+                    tier: failed.to_string(),
+                    op: "put",
+                    failover_to: Some(tier.name().to_string()),
+                    detail: format!(
+                        "put {key}: {failed} unavailable, redirected to {}",
+                        tier.name()
+                    ),
+                });
+                return Some((tier.name().to_string(), latency));
+            }
+        }
+        self.emit_alert(FailureAlert {
+            at: ctx.now,
+            tier: failed.to_string(),
+            op: "put",
+            failover_to: None,
+            detail: format!("put {key}: {failed} unavailable and no writable fallback accepted it"),
+        });
+        None
+    }
+
     /// Writes `data` under `key` to each target tier in parallel; charges
-    /// the slowest write.
+    /// the slowest write. Under a failover-enabled retry policy a target
+    /// that exhausts its retries is replaced by the next writable tier.
     fn store_one(&self, key: &ObjectKey, data: Bytes, to: &[String], ctx: &mut Ctx) -> Result<()> {
         let mut slowest = SimDuration::ZERO;
+        let mut placed: Vec<String> = Vec::with_capacity(to.len());
         for tier_name in to {
             let tier = self.tier(tier_name)?;
-            let receipt = tier.put(key, data.clone(), ctx.now)?;
-            slowest = slowest.max(receipt.latency);
+            match self.tier_put_retrying(&tier, key, &data, ctx) {
+                Ok(latency) => {
+                    slowest = slowest.max(latency);
+                    placed.push(tier_name.clone());
+                    if ctx.inserted.as_ref() == Some(key) {
+                        ctx.placed_inserted.insert(tier_name.clone());
+                    }
+                }
+                Err(e) => {
+                    let failover =
+                        self.retry_active.load(Ordering::Acquire) && self.retry.read().failover;
+                    if !failover {
+                        return Err(e);
+                    }
+                    let exclude: Vec<String> =
+                        to.iter().chain(placed.iter()).cloned().collect();
+                    match self.failover_put(key, &data, tier_name, &exclude, ctx) {
+                        Some((alt, latency)) => {
+                            slowest = slowest.max(latency);
+                            if ctx.inserted.as_ref() == Some(key) {
+                                ctx.placed_inserted.insert(alt.clone());
+                            }
+                            placed.push(alt);
+                        }
+                        None => return Err(e),
+                    }
+                }
+            }
         }
         ctx.charge(slowest);
-        if ctx.inserted.as_ref() == Some(key) {
-            ctx.placed_inserted.extend(to.iter().cloned());
-        }
         self.registry.update(key, |m| {
-            for t in to {
+            for t in &placed {
                 m.locations.insert(t.clone());
             }
             m.stored_size = data.len() as u64;
@@ -1031,7 +1315,7 @@ impl Instance {
         // copy/move does (the dirty bit means "not yet persisted by
         // policy"); but a store that *itself* targets a durable tier is a
         // synchronous persist.
-        if to
+        if placed
             .iter()
             .any(|t| self.tier(t).map(|t| t.tier_traits().durable).unwrap_or(false))
         {
@@ -1140,6 +1424,7 @@ impl Instance {
                         delete_source,
                     },
                     inserted: ctx.inserted.clone(),
+                    attempts: 0,
                 });
             }
             return Ok(());
@@ -1182,13 +1467,13 @@ impl Instance {
         let mut slowest = SimDuration::ZERO;
         for tier_name in to {
             let tier = self.tier(tier_name)?;
-            let receipt = tier.put(&key, data.clone(), ctx.now)?;
-            slowest = slowest.max(receipt.latency);
+            let latency = self.tier_put_retrying(&tier, &key, &data, ctx)?;
+            slowest = slowest.max(latency);
+            if ctx.inserted.as_ref() == Some(&key) {
+                ctx.placed_inserted.insert(tier_name.clone());
+            }
         }
         ctx.charge(slowest);
-        if ctx.inserted.as_ref() == Some(&key) {
-            ctx.placed_inserted.extend(to.iter().cloned());
-        }
 
         let dest_durable = to
             .iter()
@@ -1969,6 +2254,7 @@ mod tests {
                 due: SimTime::from_secs(due_s),
                 work: WorkItem::Responses(Vec::new()),
                 inserted: Some(ObjectKey::new(name)),
+                attempts: 0,
             });
         }
         assert_eq!(q.len(), 3);
@@ -1989,6 +2275,7 @@ mod tests {
                 due: T0,
                 work: WorkItem::Responses(Vec::new()),
                 inserted: Some(ObjectKey::new(name)),
+                attempts: 0,
             });
         }
         let order: Vec<String> = std::iter::from_fn(|| q.pop_due(T0))
@@ -2025,6 +2312,7 @@ mod tests {
                     delete_source: false,
                 },
                 inserted: None,
+                attempts: 0,
             });
         }
         inst.pump(SimTime::from_secs(60)).unwrap();

@@ -71,6 +71,7 @@ pub mod monitor;
 pub mod object;
 pub mod policy;
 pub mod registry;
+pub mod retry;
 pub mod response;
 pub mod selector;
 pub mod stats;
@@ -87,6 +88,7 @@ pub mod prelude {
     pub use crate::object::{ObjectKey, Tag};
     pub use crate::policy::{Policy, Rule, RuleId};
     pub use crate::response::{EvictOrder, Guard, ResponseSpec};
+    pub use crate::retry::{FailureAlert, RetryPolicy};
     pub use crate::selector::Selector;
     pub use crate::tier::{MemTier, OpReceipt, Tier, TierHandle, TierTraits};
     pub use tiera_sim::{SimDuration, SimTime};

@@ -44,6 +44,7 @@ pub struct FailureMonitor {
     consecutive_failures: u32,
     reconfigured: bool,
     probe_seq: u64,
+    observe_alerts: bool,
     on_failure: Box<dyn FnMut(&Instance) + Send>,
 }
 
@@ -65,8 +66,19 @@ impl FailureMonitor {
             consecutive_failures: 0,
             reconfigured: false,
             probe_seq: 0,
+            observe_alerts: false,
             on_failure: Box::new(on_failure),
         }
+    }
+
+    /// Also counts the instance's FAILURE_ALERT events (degraded PUTs,
+    /// dropped background work — see [`crate::retry::FailureAlert`])
+    /// toward the failure budget: each tick that drains at least one alert
+    /// counts like one failed canary probe. Off by default, so existing
+    /// canary-only monitors are unchanged.
+    pub fn observing_alerts(mut self) -> Self {
+        self.observe_alerts = true;
+        self
     }
 
     /// The paper's configuration: probe every 2 minutes.
@@ -86,12 +98,36 @@ impl FailureMonitor {
     /// Returns the outcomes of the probes performed.
     pub fn tick(&mut self, now: SimTime) -> Vec<ProbeOutcome> {
         let mut outcomes = Vec::new();
+        if self.observe_alerts {
+            let alerts = self.instance.drain_alerts();
+            if !alerts.is_empty() {
+                outcomes.push(self.register_failure());
+            }
+        }
         while self.next_probe <= now {
             let at = self.next_probe;
             outcomes.push(self.probe(at));
             self.next_probe = at + self.period;
         }
         outcomes
+    }
+
+    /// One failure signal (failed canary or drained alerts) against the
+    /// retry budget.
+    fn register_failure(&mut self) -> ProbeOutcome {
+        if self.reconfigured {
+            return ProbeOutcome::AlreadyReconfigured;
+        }
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= self.retries {
+            self.reconfigured = true;
+            (self.on_failure)(&self.instance);
+            ProbeOutcome::Reconfigured
+        } else {
+            ProbeOutcome::Suspect {
+                failures: self.consecutive_failures,
+            }
+        }
     }
 
     fn probe(&mut self, at: SimTime) -> ProbeOutcome {
@@ -102,19 +138,7 @@ impl FailureMonitor {
                 self.consecutive_failures = 0;
                 ProbeOutcome::Healthy
             }
-            Err(_) if self.reconfigured => ProbeOutcome::AlreadyReconfigured,
-            Err(_) => {
-                self.consecutive_failures += 1;
-                if self.consecutive_failures >= self.retries {
-                    self.reconfigured = true;
-                    (self.on_failure)(&self.instance);
-                    ProbeOutcome::Reconfigured
-                } else {
-                    ProbeOutcome::Suspect {
-                        failures: self.consecutive_failures,
-                    }
-                }
-            }
+            Err(_) => self.register_failure(),
         }
     }
 }

@@ -269,6 +269,36 @@ mod tests {
     }
 
     #[test]
+    fn server_start_installs_the_configured_retry_policy() {
+        let inst = instance();
+        assert!(inst.retry_policy().is_trivial(), "instances default to no retries");
+        let handle = TieraServer::start(
+            Arc::clone(&inst),
+            "127.0.0.1:0",
+            ServerConfig {
+                retry: Some(RetryPolicy::robust()),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(inst.retry_policy(), RetryPolicy::robust());
+        // And the served data path still works under the non-trivial policy.
+        let mut client = TieraClient::connect(handle.addr()).unwrap();
+        client.put("k", b"v").unwrap();
+        let (value, _) = client.get("k").unwrap();
+        assert_eq!(value, b"v");
+        handle.shutdown();
+        // `retry: None` leaves an existing policy untouched.
+        let inst2 = instance();
+        inst2.set_retry_policy(RetryPolicy::robust());
+        let handle2 =
+            TieraServer::start(Arc::clone(&inst2), "127.0.0.1:0", ServerConfig::default())
+                .unwrap();
+        assert_eq!(inst2.retry_policy(), RetryPolicy::robust());
+        handle2.shutdown();
+    }
+
+    #[test]
     fn tcp_roundtrip() {
         let inst = instance();
         let handle = TieraServer::start(inst, "127.0.0.1:0", ServerConfig::default()).unwrap();

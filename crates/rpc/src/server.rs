@@ -16,6 +16,7 @@ use tiera_support::channel;
 
 use tiera_core::catalog::TierCatalog;
 use tiera_core::instance::{Instance, PutOptions};
+use tiera_core::retry::RetryPolicy;
 use tiera_core::object::Tag;
 use tiera_sim::SimTime;
 
@@ -31,6 +32,11 @@ pub struct ServerConfig {
     /// Tier catalog used to resolve `AttachTier` reconfiguration requests;
     /// without one, tier attachment over RPC is rejected.
     pub catalog: Option<TierCatalog>,
+    /// Retry/failover policy installed on the instance at server start
+    /// (`None` leaves the instance's current policy untouched). A served
+    /// instance typically wants [`RetryPolicy::robust`]: clients are remote
+    /// and transient tier faults should be ridden out server-side.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl std::fmt::Debug for ServerConfig {
@@ -39,6 +45,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("request_threads", &self.request_threads)
             .field("event_tick", &self.event_tick)
             .field("catalog", &self.catalog.is_some())
+            .field("retry", &self.retry)
             .finish()
     }
 }
@@ -100,6 +107,9 @@ impl TieraServer {
             cfg.event_tick
         };
         let catalog = Arc::new(cfg.catalog);
+        if let Some(retry) = cfg.retry {
+            instance.set_retry_policy(retry);
+        }
 
         // Request pool: the acceptor distributes connections to workers.
         let (conn_tx, conn_rx) = channel::unbounded::<TcpStream>();

@@ -43,7 +43,7 @@ pub mod serial;
 pub use bandwidth::SharedBandwidth;
 pub use clock::{SimDuration, SimTime, VirtualClock};
 pub use cost::{CostReport, PricePlan, StorageClass};
-pub use failure::{FailureInjector, FailureKind, FailureWindow};
+pub use failure::{FailureInjector, FailureKind, FailureWindow, FaultSpec, Verdict};
 pub use histogram::Histogram;
 pub use latency::LatencyModel;
 pub use provision::Provisioner;

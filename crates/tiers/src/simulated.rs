@@ -303,14 +303,52 @@ impl Tier for SimulatedTier {
 
     fn put(&self, key: &ObjectKey, data: Bytes, now: SimTime) -> Result<OpReceipt> {
         self.maybe_reshard(now);
-        if let Verdict::TimedOut(waited) = self.failures.check_write(now) {
-            return Err(TieraError::Timeout {
-                tier: self.name.clone(),
-                waited,
-            });
-        }
+        let mut spike = SimDuration::ZERO;
+        let torn_wait = match self.failures.check_write(now) {
+            Verdict::Healthy => None,
+            Verdict::Spiked(extra) => {
+                spike = extra;
+                None
+            }
+            Verdict::Torn(waited) => Some(waited),
+            Verdict::TimedOut(waited) => {
+                return Err(TieraError::Timeout {
+                    tier: self.name.clone(),
+                    waited,
+                });
+            }
+            Verdict::TransientFull => {
+                return Err(TieraError::TierFull {
+                    tier: self.name.clone(),
+                    needed: data.len() as u64,
+                    available: 0,
+                });
+            }
+        };
+        let len = data.len() as u64;
+        // Admission happens BEFORE any bandwidth is reserved: a write the
+        // tier rejects must not occupy the shared device path, otherwise a
+        // failed multi-part write inflates every later op's queueing delay
+        // while `used` says the bytes were never stored.
+        let prev = {
+            let mut st = self.state.lock();
+            let old = st.map.get(key).map(|b| b.len() as u64).unwrap_or(0);
+            let new_used = st.used - old + len;
+            let cap = self.capacity(now);
+            if new_used > cap {
+                return Err(TieraError::TierFull {
+                    tier: self.name.clone(),
+                    needed: len,
+                    available: cap.saturating_sub(st.used - old),
+                });
+            }
+            let prev = st.map.insert(key.clone(), data);
+            st.used = new_used;
+            st.puts += 1;
+            prev
+        };
         let latency = match self.small_write {
-            Some((base, occ)) if data.len() <= 1024 => {
+            Some((base, occ)) if len <= 1024 => {
                 // Sequential small append absorbed by the write cache.
                 match &self.bandwidth {
                     Some(bw) => {
@@ -320,32 +358,52 @@ impl Tier for SimulatedTier {
                     None => base,
                 }
             }
-            _ => self.charge(data.len(), now, &self.write_model, self.op_occupancy_write),
+            _ => self.charge(len as usize, now, &self.write_model, self.op_occupancy_write),
         };
-        let mut st = self.state.lock();
-        let old = st.map.get(key).map(|b| b.len() as u64).unwrap_or(0);
-        let new_used = st.used - old + data.len() as u64;
-        let cap = self.capacity(now);
-        if new_used > cap {
-            return Err(TieraError::TierFull {
-                tier: self.name.clone(),
-                needed: data.len() as u64,
-                available: cap.saturating_sub(st.used - old),
-            });
-        }
-        st.map.insert(key.clone(), data);
-        st.used = new_used;
-        st.puts += 1;
-        Ok(OpReceipt::took(latency))
-    }
-
-    fn get(&self, key: &ObjectKey, now: SimTime) -> Result<(Bytes, OpReceipt)> {
-        self.maybe_reshard(now);
-        if let Verdict::TimedOut(waited) = self.failures.check_read(now) {
+        if let Some(waited) = torn_wait {
+            // Torn write: the transfer occupied the device but no bytes
+            // become visible; map and capacity accounting roll back to the
+            // pre-op value and the client is charged the timeout.
+            let mut st = self.state.lock();
+            let cur = st.map.get(key).map(|b| b.len() as u64).unwrap_or(0);
+            match prev {
+                Some(old_bytes) => {
+                    let old_len = old_bytes.len() as u64;
+                    st.map.insert(key.clone(), old_bytes);
+                    st.used = st.used - cur + old_len;
+                }
+                None => {
+                    st.map.remove(key);
+                    st.used -= cur;
+                }
+            }
+            st.puts -= 1;
             return Err(TieraError::Timeout {
                 tier: self.name.clone(),
                 waited,
             });
+        }
+        Ok(OpReceipt::took(latency + spike))
+    }
+
+    fn get(&self, key: &ObjectKey, now: SimTime) -> Result<(Bytes, OpReceipt)> {
+        self.maybe_reshard(now);
+        let mut spike = SimDuration::ZERO;
+        match self.failures.check_read(now) {
+            Verdict::Healthy => {}
+            Verdict::Spiked(extra) => spike = extra,
+            Verdict::TimedOut(waited) | Verdict::Torn(waited) => {
+                return Err(TieraError::Timeout {
+                    tier: self.name.clone(),
+                    waited,
+                });
+            }
+            Verdict::TransientFull => {
+                return Err(TieraError::Timeout {
+                    tier: self.name.clone(),
+                    waited: SimDuration::ZERO,
+                });
+            }
         }
         let data = {
             let mut st = self.state.lock();
@@ -356,15 +414,29 @@ impl Tier for SimulatedTier {
                 .ok_or_else(|| TieraError::NoSuchObject(key.to_string()))?
         };
         let latency = self.charge(data.len(), now, &self.read_model, self.op_occupancy_read);
-        Ok((data, OpReceipt::took(latency)))
+        Ok((data, OpReceipt::took(latency + spike)))
     }
 
     fn delete(&self, key: &ObjectKey, now: SimTime) -> Result<OpReceipt> {
-        if let Verdict::TimedOut(waited) = self.failures.check_write(now) {
-            return Err(TieraError::Timeout {
-                tier: self.name.clone(),
-                waited,
-            });
+        let mut spike = SimDuration::ZERO;
+        match self.failures.check_write(now) {
+            Verdict::Healthy => {}
+            Verdict::Spiked(extra) => spike = extra,
+            Verdict::TimedOut(waited) | Verdict::Torn(waited) => {
+                return Err(TieraError::Timeout {
+                    tier: self.name.clone(),
+                    waited,
+                });
+            }
+            Verdict::TransientFull => {
+                // A delete frees space; a transiently-full backend still
+                // refuses the round trip.
+                return Err(TieraError::TierFull {
+                    tier: self.name.clone(),
+                    needed: 0,
+                    available: 0,
+                });
+            }
         }
         let latency = self.charge(0, now, &self.write_model, self.op_occupancy_write);
         let mut st = self.state.lock();
@@ -372,7 +444,7 @@ impl Tier for SimulatedTier {
             st.used -= b.len() as u64;
         }
         st.puts += 1;
-        Ok(OpReceipt::took(latency))
+        Ok(OpReceipt::took(latency + spike))
     }
 
     fn contains(&self, key: &ObjectKey) -> bool {
@@ -421,7 +493,7 @@ impl std::fmt::Debug for SimulatedTier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tiera_sim::FailureWindow;
+    use tiera_sim::{FailureKind, FailureWindow, FaultSpec};
 
     const MB: u64 = 1024 * 1024;
 
@@ -587,6 +659,109 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run(), "same seed → same latencies");
+    }
+
+    #[test]
+    fn rejected_write_reserves_no_bandwidth() {
+        // Regression: an over-capacity write used to reserve the shared
+        // device path (and draw a latency sample) before the capacity
+        // check, so a failed multi-part write inflated the queueing delay
+        // of every subsequent op. Two same-seed tiers — one that first
+        // rejects a huge write, one that doesn't — must now report
+        // byte-identical latency for the same small write.
+        let dirty = {
+            let e = SimEnv::new(42);
+            let t = BlockTier::ebs("ebs", MB, &e);
+            let err = t
+                .put(&key("huge"), Bytes::from(vec![0u8; 50 * MB as usize]), SimTime::ZERO)
+                .unwrap_err();
+            assert!(matches!(err, TieraError::TierFull { .. }));
+            assert_eq!(t.used(), 0, "failed write must not consume capacity");
+            t.put(&key("small"), Bytes::from(vec![0u8; 4096]), SimTime::ZERO)
+                .unwrap()
+                .latency
+        };
+        let clean = {
+            let e = SimEnv::new(42);
+            let t = BlockTier::ebs("ebs", MB, &e);
+            t.put(&key("small"), Bytes::from(vec![0u8; 4096]), SimTime::ZERO)
+                .unwrap()
+                .latency
+        };
+        assert_eq!(dirty, clean, "rejected write left residue on the device path");
+    }
+
+    #[test]
+    fn torn_write_rolls_back_capacity_and_contents() {
+        let e = env();
+        let mem = MemoryTier::same_az("mem", 64 * MB, &e);
+        mem.put(&key("k"), Bytes::from_static(b"original"), SimTime::ZERO)
+            .unwrap();
+        let used_before = mem.used();
+        let puts_before = mem.request_counts().puts;
+        mem.failures().set_seed(9);
+        mem.failures()
+            .install(FaultSpec::new(FailureKind::Writes, SimTime::ZERO, None).torn(1.0));
+        // Torn overwrite: error, old value and accounting intact.
+        let err = mem
+            .put(&key("k"), Bytes::from(vec![7u8; 4096]), SimTime::from_secs(1))
+            .unwrap_err();
+        assert!(matches!(err, TieraError::Timeout { .. }), "got {err}");
+        assert_eq!(mem.used(), used_before);
+        // Torn first write: no phantom bytes appear.
+        let err = mem
+            .put(&key("fresh"), Bytes::from(vec![7u8; 512]), SimTime::from_secs(2))
+            .unwrap_err();
+        assert!(matches!(err, TieraError::Timeout { .. }), "got {err}");
+        assert!(!mem.contains(&key("fresh")));
+        assert_eq!(mem.used(), used_before);
+        assert_eq!(mem.request_counts().puts, puts_before, "torn ops not billed");
+        mem.failures().clear();
+        let (data, _) = mem.get(&key("k"), SimTime::from_secs(3)).unwrap();
+        assert_eq!(&data[..], b"original");
+    }
+
+    #[test]
+    fn transient_full_fails_without_mutation() {
+        let e = env();
+        let mem = MemoryTier::same_az("mem", 64 * MB, &e);
+        mem.failures().set_seed(4);
+        mem.failures().install(
+            FaultSpec::new(FailureKind::Writes, SimTime::ZERO, None).transient_full(1.0),
+        );
+        let err = mem
+            .put(&key("k"), Bytes::from_static(b"v"), SimTime::ZERO)
+            .unwrap_err();
+        match err {
+            TieraError::TierFull { available, .. } => assert_eq!(available, 0),
+            e => panic!("expected transient TierFull, got {e}"),
+        }
+        assert!(!mem.contains(&key("k")));
+        assert_eq!(mem.used(), 0);
+        mem.failures().clear();
+        assert!(mem.put(&key("k"), Bytes::from_static(b"v"), SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn latency_spike_adds_exactly_the_configured_extra() {
+        // The spec draw comes from the injector's own seeded stream, so the
+        // tier's latency-model stream is unperturbed and the spiked run
+        // differs from the plain run by exactly the configured extra.
+        let run = |spike: Option<SimDuration>| {
+            let e = SimEnv::new(42);
+            let t = MemoryTier::same_az("mem", 64 * MB, &e);
+            if let Some(extra) = spike {
+                t.failures().set_seed(2);
+                t.failures().install(
+                    FaultSpec::new(FailureKind::All, SimTime::ZERO, None).spikes(1.0, extra),
+                );
+            }
+            t.put(&key("k"), Bytes::from(vec![0u8; 4096]), SimTime::ZERO)
+                .unwrap()
+                .latency
+        };
+        let extra = SimDuration::from_millis(250);
+        assert_eq!(run(Some(extra)), run(None) + extra);
     }
 
     #[test]

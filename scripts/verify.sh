@@ -26,4 +26,10 @@ cargo run -q --release --offline --bin tiera-lint -- --deny-warnings --quiet spe
 echo "==> bench smoke (quick mode; schema only, no timing assertions)"
 ./scripts/bench.sh
 
+echo "==> chaos smoke (deterministic; seed 1 replays byte-identically)"
+CHAOS_OUT="$(mktemp -t tiera-chaos-XXXXXX.json)"
+trap 'rm -f "$CHAOS_OUT"' EXIT
+./target/release/tiera-bench chaos --quick --seed 1 --out "$CHAOS_OUT"
+./target/release/tiera-bench check "$CHAOS_OUT"
+
 echo "verify: OK"
