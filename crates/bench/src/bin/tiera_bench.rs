@@ -1,19 +1,25 @@
 //! `tiera-bench` — wall-clock benchmark CLI.
 //!
 //! ```text
-//! tiera-bench hotpath [--quick] [--out BENCH_pr3.json]
+//! tiera-bench hotpath [--quick] [--out BENCH_pr6.json]
+//! tiera-bench rpc-smoke [--quick]
 //! tiera-bench chaos [--quick] [--seed N] [--out BENCH_chaos.json]
 //! tiera-bench check <report.json>
 //! ```
 //!
-//! `hotpath` measures real-CPU throughput of the metadata hot path and
-//! writes the `BENCH_pr3.json` report; `chaos` drives the deterministic
-//! chaos scenarios at one seed and writes a replayable JSON summary;
-//! `check` validates an existing report against its schema (dispatched on
-//! the report's `bench` field, used by `scripts/bench.sh` and the chaos
-//! smoke step so committed artifacts can't rot). The figure experiments
-//! remain under the `experiments` binary — those are virtual-time and
-//! deterministic; `hotpath` is wall-clock by design.
+//! `hotpath` measures real-CPU throughput of the metadata hot path —
+//! including the single-shot and pipelined RPC scaling curves — and
+//! writes the `BENCH_pr6.json` report; `rpc-smoke` runs a fast end-to-end
+//! round trip of the pipelined RPC plane (echo, a full pipeline window,
+//! batches, and the legacy v1 framing) against a live in-process server;
+//! `chaos` drives the deterministic chaos scenarios at one seed and
+//! writes a replayable JSON summary; `check` validates an existing report
+//! against its schema (dispatched on the report's `bench`/`pr` fields,
+//! used by `scripts/bench.sh` and the smoke steps so committed artifacts
+//! can't rot — both the preserved `BENCH_pr3.json` and the current
+//! `BENCH_pr6.json` stay checkable). The figure experiments remain under
+//! the `experiments` binary — those are virtual-time and deterministic;
+//! `hotpath` is wall-clock by design.
 
 use std::process::ExitCode;
 
@@ -22,7 +28,7 @@ use tiera_bench::{chaos_report, hotpath};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  tiera-bench hotpath [--quick] [--out PATH]\n  tiera-bench chaos [--quick] [--seed N] [--out PATH]\n  tiera-bench check <report.json>"
+        "usage:\n  tiera-bench hotpath [--quick] [--out PATH]\n  tiera-bench rpc-smoke [--quick]\n  tiera-bench chaos [--quick] [--seed N] [--out PATH]\n  tiera-bench check <report.json>"
     );
     ExitCode::FAILURE
 }
@@ -32,7 +38,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("hotpath") => {
             let mut quick = false;
-            let mut out = String::from("BENCH_pr3.json");
+            let mut out = String::from("BENCH_pr6.json");
             let mut rest = args[1..].iter();
             while let Some(arg) = rest.next() {
                 match arg.as_str() {
@@ -55,6 +61,23 @@ fn main() -> ExitCode {
             }
             eprintln!("wrote {out}");
             ExitCode::SUCCESS
+        }
+        Some("rpc-smoke") => {
+            // `--quick` is accepted for symmetry with the other
+            // subcommands; the smoke is already fast so it changes nothing.
+            if args[1..].iter().any(|a| a != "--quick") {
+                return usage();
+            }
+            match hotpath::rpc_smoke() {
+                Ok(()) => {
+                    eprintln!("rpc-smoke: ok (pipelined echo, pipeline window, batches, v1 framing)");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("rpc-smoke: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         Some("chaos") => {
             let mut quick = false;

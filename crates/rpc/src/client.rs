@@ -1,14 +1,39 @@
-//! Clients: blocking TCP and in-process loopback.
+//! Clients: blocking single-shot TCP, pipelined TCP, and in-process
+//! loopback.
+//!
+//! [`TieraClient`] speaks the v1 single-shot framing (one request, one
+//! response, in lockstep) and stays wire-compatible with pre-pipeline
+//! servers. It applies a per-request read deadline and reconnects after
+//! any transport error: a request torn mid-frame (or a server killed
+//! mid-request) fails that one call instead of wedging the connection
+//! forever.
+//!
+//! [`PipelinedClient`] negotiates protocol v2 and keeps many requests in
+//! flight on one connection: [`PipelinedClient::submit`] queues a
+//! sequence-numbered frame (coalesced with its neighbors into one write),
+//! [`PipelinedClient::wait`] demultiplexes responses by sequence number —
+//! completions may arrive in any order. Batch helpers
+//! (`multi_put`/`multi_get`/`multi_delete`) pack up to [`MAX_BATCH`]
+//! operations into a single frame with per-item outcomes.
 
-use std::io::{self, BufReader, BufWriter};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::Duration;
 
 use tiera_core::instance::{Instance, PutOptions};
 use tiera_core::object::Tag;
 use tiera_sim::SimDuration;
+use tiera_support::collections::{FxHashMap, FxHashSet};
 
-use crate::proto::{read_frame, write_frame, Request, Response};
+use crate::proto::{
+    read_frame, read_hello, split_seq, write_frame, write_hello, write_seq_frame, PutItem,
+    Request, Response, MAX_BATCH, PIPE_BUF, VERSION,
+};
+
+/// Default per-request read deadline for both TCP clients: generous enough
+/// for a loaded server, finite so a dead one cannot wedge the caller.
+pub const DEFAULT_READ_DEADLINE: Duration = Duration::from_secs(10);
 
 /// Outcome of a client operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,36 +44,182 @@ pub struct ClientReceipt {
     pub served_by: Option<String>,
 }
 
-/// A blocking TCP client speaking the Tiera protocol.
-pub struct TieraClient {
+fn unexpected(resp: Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response: {resp:?}"),
+    )
+}
+
+// Shared response interpretation, so the single-shot, pipelined, and batch
+// paths agree on semantics.
+
+fn as_pong(resp: Response) -> io::Result<()> {
+    match resp {
+        Response::Pong => Ok(()),
+        Response::Error { message } => Err(io::Error::other(message)),
+        other => Err(unexpected(other)),
+    }
+}
+
+fn as_put(resp: Response) -> io::Result<ClientReceipt> {
+    match resp {
+        Response::PutOk { latency_ns } => Ok(ClientReceipt {
+            latency: SimDuration::from_nanos(latency_ns),
+            served_by: None,
+        }),
+        Response::Error { message } => Err(io::Error::other(message)),
+        other => Err(unexpected(other)),
+    }
+}
+
+fn as_get(resp: Response) -> io::Result<(Vec<u8>, ClientReceipt)> {
+    match resp {
+        Response::GetOk {
+            value,
+            latency_ns,
+            served_by,
+        } => Ok((
+            value,
+            ClientReceipt {
+                latency: SimDuration::from_nanos(latency_ns),
+                served_by: Some(served_by),
+            },
+        )),
+        Response::Error { message } => Err(io::Error::other(message)),
+        other => Err(unexpected(other)),
+    }
+}
+
+fn as_delete(resp: Response) -> io::Result<ClientReceipt> {
+    match resp {
+        Response::Deleted { latency_ns } => Ok(ClientReceipt {
+            latency: SimDuration::from_nanos(latency_ns),
+            served_by: None,
+        }),
+        Response::Error { message } => Err(io::Error::other(message)),
+        other => Err(unexpected(other)),
+    }
+}
+
+/// Unpacks a `Batch` response into per-item outcomes via `interpret`,
+/// enforcing that the server answered every item.
+fn as_batch<T>(
+    resp: Response,
+    expected: usize,
+    interpret: impl Fn(Response) -> io::Result<T>,
+) -> io::Result<Vec<io::Result<T>>> {
+    match resp {
+        Response::Batch { parts } => {
+            if parts.len() != expected {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("batch answered {} of {expected} items", parts.len()),
+                ));
+            }
+            Ok(parts.into_iter().map(&interpret).collect())
+        }
+        Response::Error { message } => Err(io::Error::other(message)),
+        other => Err(unexpected(other)),
+    }
+}
+
+fn check_batch_len(len: usize) -> io::Result<()> {
+    if len > MAX_BATCH {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("batch of {len} exceeds MAX_BATCH ({MAX_BATCH})"),
+        ));
+    }
+    Ok(())
+}
+
+struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
 }
 
+fn open_conn(addr: SocketAddr, deadline: Option<Duration>) -> io::Result<Conn> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(deadline)?;
+    Ok(Conn {
+        reader: BufReader::new(stream.try_clone()?),
+        writer: BufWriter::new(stream),
+    })
+}
+
+/// A blocking TCP client speaking the v1 single-shot framing.
+///
+/// Robustness: every call carries the configured read deadline, and any
+/// transport error (timeout, torn frame, connection reset) poisons the
+/// connection — the failing call returns the error, and the next call
+/// transparently reconnects. In-flight state is never reused across a
+/// reconnect, so a desynchronized frame stream cannot misattribute
+/// responses.
+pub struct TieraClient {
+    addr: SocketAddr,
+    deadline: Option<Duration>,
+    conn: Option<Conn>,
+}
+
 impl TieraClient {
-    /// Connects to a Tiera server.
+    /// Connects to a Tiera server with the default read deadline.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::connect_with_deadline(addr, Some(DEFAULT_READ_DEADLINE))
+    }
+
+    /// Connects with an explicit per-request read deadline (`None` waits
+    /// forever, the pre-pipeline behavior).
+    pub fn connect_with_deadline(
+        addr: impl ToSocketAddrs,
+        deadline: Option<Duration>,
+    ) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        let addr = stream.peer_addr()?;
         stream.set_nodelay(true).ok();
+        stream.set_read_timeout(deadline)?;
         Ok(Self {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
+            addr,
+            deadline,
+            conn: Some(Conn {
+                reader: BufReader::new(stream.try_clone()?),
+                writer: BufWriter::new(stream),
+            }),
         })
     }
 
+    /// Whether a live connection is currently held (false after a
+    /// transport error, until the next call reconnects).
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
     fn call(&mut self, req: &Request) -> io::Result<Response> {
-        write_frame(&mut self.writer, &req.encode())?;
-        let frame = read_frame(&mut self.reader)?
+        let result = self.try_call(req);
+        if result.is_err() {
+            // Transport state is unknowable after any error (a late
+            // response could still arrive and desynchronize framing):
+            // drop the connection; the next call redials.
+            self.conn = None;
+        }
+        result
+    }
+
+    fn try_call(&mut self, req: &Request) -> io::Result<Response> {
+        if self.conn.is_none() {
+            self.conn = Some(open_conn(self.addr, self.deadline)?);
+        }
+        let conn = self.conn.as_mut().expect("connection just ensured");
+        write_frame(&mut conn.writer, &req.encode())?;
+        let frame = read_frame(&mut conn.reader)?
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
         Response::decode(&frame)
     }
 
     /// Liveness probe.
     pub fn ping(&mut self) -> io::Result<()> {
-        match self.call(&Request::Ping)? {
-            Response::Pong => Ok(()),
-            other => Err(unexpected(other)),
-        }
+        as_pong(self.call(&Request::Ping)?)
     }
 
     /// Stores an object.
@@ -68,49 +239,21 @@ impl TieraClient {
             value: value.to_vec(),
             tags: tags.iter().map(|s| s.to_string()).collect(),
         };
-        match self.call(&req)? {
-            Response::PutOk { latency_ns } => Ok(ClientReceipt {
-                latency: SimDuration::from_nanos(latency_ns),
-                served_by: None,
-            }),
-            Response::Error { message } => Err(io::Error::other(message)),
-            other => Err(unexpected(other)),
-        }
+        as_put(self.call(&req)?)
     }
 
     /// Fetches an object.
     pub fn get(&mut self, key: &str) -> io::Result<(Vec<u8>, ClientReceipt)> {
-        match self.call(&Request::Get {
+        as_get(self.call(&Request::Get {
             key: key.to_string(),
-        })? {
-            Response::GetOk {
-                value,
-                latency_ns,
-                served_by,
-            } => Ok((
-                value,
-                ClientReceipt {
-                    latency: SimDuration::from_nanos(latency_ns),
-                    served_by: Some(served_by),
-                },
-            )),
-            Response::Error { message } => Err(io::Error::other(message)),
-            other => Err(unexpected(other)),
-        }
+        })?)
     }
 
     /// Deletes an object.
     pub fn delete(&mut self, key: &str) -> io::Result<ClientReceipt> {
-        match self.call(&Request::Delete {
+        as_delete(self.call(&Request::Delete {
             key: key.to_string(),
-        })? {
-            Response::Deleted { latency_ns } => Ok(ClientReceipt {
-                latency: SimDuration::from_nanos(latency_ns),
-                served_by: None,
-            }),
-            Response::Error { message } => Err(io::Error::other(message)),
-            other => Err(unexpected(other)),
-        }
+        })?)
     }
 
     /// Fetches `(objects, reads, writes, events)` counters.
@@ -183,11 +326,261 @@ impl TieraClient {
     }
 }
 
-fn unexpected(resp: Response) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("unexpected response: {resp:?}"),
-    )
+/// Handle for one in-flight pipelined request; redeem it with
+/// [`PipelinedClient::wait`] (or a typed `wait_*` helper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token(u64);
+
+impl Token {
+    /// The request's wire sequence number.
+    pub fn seq(self) -> u64 {
+        self.0
+    }
+}
+
+/// A pipelined TCP client speaking protocol v2.
+///
+/// Many requests may be in flight on the one connection: `submit` encodes
+/// a sequence-numbered frame into the send buffer (several submits
+/// coalesce into one write syscall), `wait` flushes and then reads
+/// responses, matching them to tokens by sequence number — out-of-order
+/// completion is handled by parking early responses until their token is
+/// redeemed.
+///
+/// Unlike [`TieraClient`] there is no transparent reconnect: in-flight
+/// requests cannot be safely replayed (a PUT may or may not have been
+/// applied), so after a transport error every `wait` fails and the caller
+/// decides what to re-issue on a fresh connection.
+pub struct PipelinedClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    version: u32,
+    next_seq: u64,
+    /// Sequence numbers submitted and not yet redeemed or received.
+    awaiting: FxHashSet<u64>,
+    /// Responses received while waiting for an earlier token.
+    parked: FxHashMap<u64, Response>,
+}
+
+impl std::fmt::Debug for PipelinedClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelinedClient")
+            .field("version", &self.version)
+            .field("next_seq", &self.next_seq)
+            .field("in_flight", &self.awaiting.len())
+            .finish()
+    }
+}
+
+impl PipelinedClient {
+    /// Connects and negotiates protocol v2 with the default read deadline.
+    ///
+    /// Fails with a clean error (rather than a hang or a garbage decode)
+    /// when the server only speaks the v1 framing; callers can fall back
+    /// to [`TieraClient`] in that case.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::connect_with_deadline(addr, Some(DEFAULT_READ_DEADLINE))
+    }
+
+    /// Connects with an explicit per-request read deadline.
+    pub fn connect_with_deadline(
+        addr: impl ToSocketAddrs,
+        deadline: Option<Duration>,
+    ) -> io::Result<Self> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(deadline)?;
+        write_hello(&mut stream, VERSION)?;
+        // A pipelined connection moves bursts of frames in each direction;
+        // generous buffers keep a full pipeline window per syscall.
+        let mut reader = BufReader::with_capacity(PIPE_BUF, stream.try_clone()?);
+        let granted = read_hello(&mut reader).map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!("handshake failed ({e}); server may only speak the v1 single-shot framing"),
+            )
+        })?;
+        if !(2..=VERSION).contains(&granted) {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("server refused pipelined protocol (granted version {granted})"),
+            ));
+        }
+        Ok(Self {
+            reader,
+            writer: BufWriter::with_capacity(PIPE_BUF, stream),
+            version: granted,
+            next_seq: 0,
+            awaiting: FxHashSet::default(),
+            parked: FxHashMap::default(),
+        })
+    }
+
+    /// The negotiated protocol version (currently always 2).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Requests submitted but not yet redeemed by a `wait`.
+    pub fn in_flight(&self) -> usize {
+        self.awaiting.len()
+    }
+
+    /// Queues a request without waiting for its response. The frame lands
+    /// in the send buffer — neighbors coalesce into one write — and is
+    /// guaranteed on the wire after [`PipelinedClient::flush`] (which
+    /// `wait` performs implicitly).
+    pub fn submit(&mut self, req: &Request) -> io::Result<Token> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        write_seq_frame(&mut self.writer, seq, &req.encode())?;
+        self.awaiting.insert(seq);
+        Ok(Token(seq))
+    }
+
+    /// Forces buffered request frames onto the wire.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Waits for the response to `token`, reading (and parking) any other
+    /// responses that arrive first.
+    pub fn wait(&mut self, token: Token) -> io::Result<Response> {
+        if let Some(resp) = self.parked.remove(&token.0) {
+            return Ok(resp);
+        }
+        if !self.awaiting.contains(&token.0) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("token {} is not in flight", token.0),
+            ));
+        }
+        self.writer.flush()?;
+        loop {
+            let frame = read_frame(&mut self.reader)?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "server closed")
+            })?;
+            let (seq, payload) = split_seq(&frame)?;
+            if !self.awaiting.remove(&seq) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("response for unknown sequence number {seq}"),
+                ));
+            }
+            let resp = Response::decode(payload)?;
+            if seq == token.0 {
+                return Ok(resp);
+            }
+            self.parked.insert(seq, resp);
+        }
+    }
+
+    // ---- typed submit/wait pairs ----
+
+    /// Queues a PUT.
+    pub fn submit_put(&mut self, key: &str, value: &[u8]) -> io::Result<Token> {
+        self.submit_put_tagged(key, value, &[])
+    }
+
+    /// Queues a tagged PUT.
+    pub fn submit_put_tagged(
+        &mut self,
+        key: &str,
+        value: &[u8],
+        tags: &[&str],
+    ) -> io::Result<Token> {
+        self.submit(&Request::Put {
+            key: key.to_string(),
+            value: value.to_vec(),
+            tags: tags.iter().map(|s| s.to_string()).collect(),
+        })
+    }
+
+    /// Queues a GET.
+    pub fn submit_get(&mut self, key: &str) -> io::Result<Token> {
+        self.submit(&Request::Get {
+            key: key.to_string(),
+        })
+    }
+
+    /// Queues a DELETE.
+    pub fn submit_delete(&mut self, key: &str) -> io::Result<Token> {
+        self.submit(&Request::Delete {
+            key: key.to_string(),
+        })
+    }
+
+    /// Redeems a PUT token.
+    pub fn wait_put(&mut self, token: Token) -> io::Result<ClientReceipt> {
+        as_put(self.wait(token)?)
+    }
+
+    /// Redeems a GET token.
+    pub fn wait_get(&mut self, token: Token) -> io::Result<(Vec<u8>, ClientReceipt)> {
+        as_get(self.wait(token)?)
+    }
+
+    /// Redeems a DELETE token.
+    pub fn wait_delete(&mut self, token: Token) -> io::Result<ClientReceipt> {
+        as_delete(self.wait(token)?)
+    }
+
+    /// Round-trip liveness probe (submits and waits).
+    pub fn ping(&mut self) -> io::Result<()> {
+        let token = self.submit(&Request::Ping)?;
+        as_pong(self.wait(token)?)
+    }
+
+    // ---- batch helpers ----
+
+    /// Stores up to [`MAX_BATCH`] objects in one frame; returns per-item
+    /// outcomes in order (partial failure is per item, not per batch).
+    pub fn multi_put(
+        &mut self,
+        items: &[(&str, &[u8])],
+    ) -> io::Result<Vec<io::Result<ClientReceipt>>> {
+        check_batch_len(items.len())?;
+        let req = Request::MultiPut {
+            items: items
+                .iter()
+                .map(|(key, value)| PutItem {
+                    key: key.to_string(),
+                    value: value.to_vec(),
+                    tags: Vec::new(),
+                })
+                .collect(),
+        };
+        let token = self.submit(&req)?;
+        as_batch(self.wait(token)?, items.len(), as_put)
+    }
+
+    /// Fetches up to [`MAX_BATCH`] objects in one frame; per-item outcomes
+    /// in key order.
+    pub fn multi_get(
+        &mut self,
+        keys: &[&str],
+    ) -> io::Result<Vec<io::Result<(Vec<u8>, ClientReceipt)>>> {
+        check_batch_len(keys.len())?;
+        let req = Request::MultiGet {
+            keys: keys.iter().map(|k| k.to_string()).collect(),
+        };
+        let token = self.submit(&req)?;
+        as_batch(self.wait(token)?, keys.len(), as_get)
+    }
+
+    /// Deletes up to [`MAX_BATCH`] objects in one frame; per-item outcomes
+    /// in key order.
+    pub fn multi_delete(
+        &mut self,
+        keys: &[&str],
+    ) -> io::Result<Vec<io::Result<ClientReceipt>>> {
+        check_batch_len(keys.len())?;
+        let req = Request::MultiDelete {
+            keys: keys.iter().map(|k| k.to_string()).collect(),
+        };
+        let token = self.submit(&req)?;
+        as_batch(self.wait(token)?, keys.len(), as_delete)
+    }
 }
 
 /// In-process client with the same surface as [`TieraClient`], for
@@ -251,6 +644,31 @@ impl LocalClient {
                 served_by: None,
             })
             .map_err(|e| io::Error::other(e.to_string()))
+    }
+
+    /// Stores several objects, mirroring [`PipelinedClient::multi_put`]'s
+    /// per-item outcome shape.
+    pub fn multi_put(
+        &self,
+        items: &[(&str, &[u8])],
+    ) -> io::Result<Vec<io::Result<ClientReceipt>>> {
+        check_batch_len(items.len())?;
+        Ok(items.iter().map(|(k, v)| self.put(k, v)).collect())
+    }
+
+    /// Fetches several objects, mirroring [`PipelinedClient::multi_get`].
+    pub fn multi_get(
+        &self,
+        keys: &[&str],
+    ) -> io::Result<Vec<io::Result<(Vec<u8>, ClientReceipt)>>> {
+        check_batch_len(keys.len())?;
+        Ok(keys.iter().map(|k| self.get(k)).collect())
+    }
+
+    /// Deletes several objects, mirroring [`PipelinedClient::multi_delete`].
+    pub fn multi_delete(&self, keys: &[&str]) -> io::Result<Vec<io::Result<ClientReceipt>>> {
+        check_batch_len(keys.len())?;
+        Ok(keys.iter().map(|k| self.delete(k)).collect())
     }
 }
 
@@ -318,6 +736,61 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_roundtrip_and_batches() {
+        let inst = instance();
+        let handle = TieraServer::start(inst, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut client = PipelinedClient::connect(handle.addr()).unwrap();
+        assert_eq!(client.version(), VERSION);
+        client.ping().unwrap();
+
+        // Pipelined: 32 puts in flight at once, then their gets.
+        let puts: Vec<Token> = (0..32)
+            .map(|i| {
+                client
+                    .submit_put(&format!("k{i}"), format!("v{i}").as_bytes())
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(client.in_flight(), 32);
+        for t in puts {
+            client.wait_put(t).unwrap();
+        }
+        let gets: Vec<Token> = (0..32).map(|i| client.submit_get(&format!("k{i}")).unwrap()).collect();
+        for (i, t) in gets.into_iter().enumerate() {
+            let (v, r) = client.wait_get(t).unwrap();
+            assert_eq!(v, format!("v{i}").as_bytes());
+            assert_eq!(r.served_by.as_deref(), Some("t1"));
+        }
+        assert_eq!(client.in_flight(), 0);
+
+        // Batch round trip with a per-item miss in the middle.
+        let outcomes = client
+            .multi_put(&[("a", b"1".as_ref()), ("b", b"2".as_ref())])
+            .unwrap();
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        let fetched = client.multi_get(&["a", "missing", "b"]).unwrap();
+        assert_eq!(fetched[0].as_ref().unwrap().0, b"1");
+        assert!(fetched[1].is_err());
+        assert_eq!(fetched[2].as_ref().unwrap().0, b"2");
+        let deleted = client.multi_delete(&["a", "b", "a"]).unwrap();
+        assert!(deleted[0].is_ok() && deleted[1].is_ok());
+        assert!(deleted[2].is_err(), "second delete of `a` must fail");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn waiting_a_redeemed_token_is_an_error() {
+        let inst = instance();
+        let handle = TieraServer::start(inst, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut client = PipelinedClient::connect(handle.addr()).unwrap();
+        let t = client.submit_put("k", b"v").unwrap();
+        client.wait_put(t).unwrap();
+        let err = client.wait(t).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        handle.shutdown();
+    }
+
+    #[test]
     fn concurrent_tcp_clients() {
         let inst = instance();
         let handle = TieraServer::start(
@@ -353,7 +826,7 @@ mod tests {
 
     #[test]
     fn hammer_request_pool_with_mixed_ops() {
-        // Four clients hammer the 4-thread request pool with put/get/
+        // Four clients hammer the 4-shard request pool with put/get/
         // delete while the server's event thread pumps concurrently; the
         // sharded registry's incremental aggregates must match a recount
         // afterwards, and surviving keys must be readable.
@@ -528,5 +1001,12 @@ mod tests {
         assert_eq!(r.served_by.as_deref(), Some("t1"));
         client.delete("k").unwrap();
         assert!(client.get("k").is_err());
+        // Batch surface mirrors the pipelined client's shape.
+        let outcomes = client.multi_put(&[("a", b"1".as_ref()), ("b", b"2".as_ref())]).unwrap();
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        let fetched = client.multi_get(&["a", "gone", "b"]).unwrap();
+        assert!(fetched[0].is_ok() && fetched[1].is_err() && fetched[2].is_ok());
+        let deleted = client.multi_delete(&["a", "b"]).unwrap();
+        assert!(deleted.iter().all(|o| o.is_ok()));
     }
 }

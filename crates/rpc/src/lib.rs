@@ -7,13 +7,20 @@
 //! size of thread pool dedicated to service responses and evaluate events."
 //!
 //! This crate replaces Thrift with a small, fully specified framed binary
-//! protocol ([`proto`]) and provides:
+//! protocol ([`proto`]) — pipelined and batched as of protocol v2 (see
+//! DESIGN.md §3d) — and provides:
 //!
-//! * [`TieraServer`] — a TCP server with a fixed-size request thread pool
-//!   and a dedicated event thread that maps wall time onto the instance's
-//!   virtual clock and drives timers/background responses (the "response
-//!   pool" of the paper, §3);
-//! * [`TieraClient`] — a blocking client;
+//! * [`TieraServer`] — a TCP server with sharded accept (each connection
+//!   pinned to a worker thread), a per-connection read/write split with
+//!   response coalescing, and a dedicated event thread that maps wall time
+//!   onto the instance's virtual clock and drives timers/background
+//!   responses (the "response pool" of the paper, §3);
+//! * [`TieraClient`] — a blocking single-shot client (v1 framing) with a
+//!   per-request read deadline and automatic reconnect after transport
+//!   errors;
+//! * [`PipelinedClient`] — a v2 client keeping many requests in flight on
+//!   one connection, with write coalescing and `multi_put`/`multi_get`/
+//!   `multi_delete` batch helpers;
 //! * [`LocalClient`] — an in-process loopback with the same API, used when
 //!   the application colocates with the server (and by the Figure 18
 //!   overhead measurements, where RPC cost must not drown the control-layer
@@ -26,5 +33,7 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{LocalClient, TieraClient};
+pub use client::{
+    ClientReceipt, LocalClient, PipelinedClient, TieraClient, Token, DEFAULT_READ_DEADLINE,
+};
 pub use server::{ServerConfig, ServerHandle, TieraServer};

@@ -2,15 +2,64 @@
 //!
 //! Every message is a frame: `u32` little-endian payload length, then the
 //! payload. The payload starts with a one-byte opcode followed by
-//! length-prefixed fields (u32 lengths, little-endian integers). The
-//! protocol is versioned by the magic in the `Hello` exchange.
+//! length-prefixed fields (u32 lengths, little-endian integers).
+//!
+//! Two framings share that base format:
+//!
+//! * **v1 (single-shot)**: the client sends a request frame and waits for
+//!   exactly one response frame. No handshake — the first bytes on the
+//!   wire are already a frame header.
+//! * **v2 (pipelined)**: the connection opens with a `hello` exchange
+//!   (`[MAGIC][version]` from the client, `[MAGIC][granted]` back), after
+//!   which every frame's payload is prefixed with a little-endian `u64`
+//!   **sequence number**. Responses carry the sequence number of the
+//!   request they answer, so many requests may be in flight and
+//!   completions may arrive out of order.
+//!
+//! The server distinguishes the two by sniffing the first four bytes:
+//! [`MAGIC`] is deliberately larger than [`MAX_FRAME`], so it can never be
+//! a valid v1 frame length. Old single-shot framing therefore still
+//! decodes against a new server, and a new client talking to an old
+//! server gets a clean "does not speak v2" error rather than a hang.
+//!
+//! Batching: `MultiPut`/`MultiGet`/`MultiDelete` carry up to [`MAX_BATCH`]
+//! operations in one frame; the server answers with a `Batch` response
+//! whose parts report per-item success or failure (partial failure is
+//! first-class, not all-or-nothing).
 
 use std::io::{self, Read, Write};
 
-/// Protocol magic ("TIRA" + version 1).
+/// Protocol magic ("TIRA"); doubles as the v2 hello sentinel. Its value is
+/// deliberately above [`MAX_FRAME`] so it can never be mistaken for a v1
+/// frame length.
 pub const MAGIC: u32 = 0x5449_5241;
+/// Highest protocol version this build speaks (the pipelined framing).
+pub const VERSION: u32 = 2;
 /// Maximum accepted frame size (64 MiB) — guards against garbage lengths.
 pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+/// Maximum operations per `MultiPut`/`MultiGet`/`MultiDelete` frame (and
+/// parts per `Batch` response) — guards batch counts the same way
+/// [`MAX_FRAME`] guards lengths.
+pub const MAX_BATCH: usize = 4096;
+/// Bytes of sequence-number prefix in a v2 frame payload.
+pub const SEQ_PREFIX: usize = 8;
+/// Buffer capacity for pipelined connections (both directions, both
+/// ends). A pipelined peer moves bursts of small frames; the default 8 KiB
+/// `BufReader`/`BufWriter` capacity forces a mid-burst syscall well before
+/// a pipeline window fills, so the v2 paths size their buffers to hold a
+/// whole burst.
+pub const PIPE_BUF: usize = 64 * 1024;
+
+/// One operation inside a [`Request::MultiPut`] batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PutItem {
+    /// Object key.
+    pub key: String,
+    /// Payload.
+    pub value: Vec<u8>,
+    /// Tags to attach.
+    pub tags: Vec<String>,
+}
 
 /// Client → server requests.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +113,24 @@ pub enum Request {
     DetachTier {
         /// The tier label.
         label: String,
+    },
+    /// Store up to [`MAX_BATCH`] objects in one frame. Answered by a
+    /// `Batch` response with one `PutOk`/`Error` part per item, in order.
+    MultiPut {
+        /// The operations, executed in order.
+        items: Vec<PutItem>,
+    },
+    /// Fetch up to [`MAX_BATCH`] objects in one frame. Answered by a
+    /// `Batch` response with one `GetOk`/`Error` part per key, in order.
+    MultiGet {
+        /// Keys to fetch.
+        keys: Vec<String>,
+    },
+    /// Delete up to [`MAX_BATCH`] objects in one frame. Answered by a
+    /// `Batch` response with one `Deleted`/`Error` part per key, in order.
+    MultiDelete {
+        /// Keys to delete.
+        keys: Vec<String>,
     },
 }
 
@@ -119,6 +186,13 @@ pub enum Response {
         /// `(id, label)` pairs.
         rules: Vec<(u64, String)>,
     },
+    /// Per-item outcomes of a `Multi*` request, in request order. Parts
+    /// are ordinary responses (`PutOk`, `GetOk`, `Deleted`, `Error`);
+    /// nesting a `Batch` inside a `Batch` is a protocol error.
+    Batch {
+        /// One part per batched operation.
+        parts: Vec<Response>,
+    },
 }
 
 // ---- encoding helpers ----
@@ -132,6 +206,22 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     put_bytes(out, s.as_bytes());
 }
 
+fn truncated() -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, "truncated frame")
+}
+
+/// Fallible little-endian readers: slice length is re-proven by
+/// `try_into` rather than assumed by indexing, keeping every decode path
+/// statically panic-free (the hermetic source lint enforces this for the
+/// whole file).
+fn le_u32(b: &[u8]) -> io::Result<u32> {
+    Ok(u32::from_le_bytes(b.try_into().map_err(|_| truncated())?))
+}
+
+fn le_u64(b: &[u8]) -> io::Result<u64> {
+    Ok(u64::from_le_bytes(b.try_into().map_err(|_| truncated())?))
+}
+
 struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -139,31 +229,22 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
-        if self.pos + n > self.buf.len() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "truncated frame",
-            ));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or_else(truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or_else(truncated)?;
+        self.pos = end;
         Ok(s)
     }
 
     fn u8(&mut self) -> io::Result<u8> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or_else(truncated)
     }
 
     fn u32(&mut self) -> io::Result<u32> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        le_u32(self.take(4)?)
     }
 
     fn u64(&mut self) -> io::Result<u64> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        le_u64(self.take(8)?)
     }
 
     fn bytes(&mut self) -> io::Result<Vec<u8>> {
@@ -181,6 +262,27 @@ impl<'a> Cursor<'a> {
 
     fn finished(&self) -> bool {
         self.pos == self.buf.len()
+    }
+
+    /// Reads a batch element count, rejecting anything over [`MAX_BATCH`]
+    /// (adversarial counts must fail before any allocation scales with
+    /// them).
+    fn batch_count(&mut self) -> io::Result<usize> {
+        let n = self.u32()? as usize;
+        if n > MAX_BATCH {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "batch too big"));
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed list of strings (batch-capped).
+    fn string_list(&mut self) -> io::Result<Vec<String>> {
+        let n = self.batch_count()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.string()?);
+        }
+        Ok(out)
     }
 }
 
@@ -231,6 +333,32 @@ impl Request {
                 out.push(9);
                 put_str(&mut out, label);
             }
+            Request::MultiPut { items } => {
+                out.push(10);
+                out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                for item in items {
+                    put_str(&mut out, &item.key);
+                    put_bytes(&mut out, &item.value);
+                    out.extend_from_slice(&(item.tags.len() as u32).to_le_bytes());
+                    for t in &item.tags {
+                        put_str(&mut out, t);
+                    }
+                }
+            }
+            Request::MultiGet { keys } => {
+                out.push(11);
+                out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+                for k in keys {
+                    put_str(&mut out, k);
+                }
+            }
+            Request::MultiDelete { keys } => {
+                out.push(12);
+                out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+                for k in keys {
+                    put_str(&mut out, k);
+                }
+            }
         }
         out
     }
@@ -267,6 +395,30 @@ impl Request {
                 capacity: c.u64()?,
             },
             9 => Request::DetachTier { label: c.string()? },
+            10 => {
+                let n = c.batch_count()?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let key = c.string()?;
+                    let value = c.bytes()?;
+                    let tag_count = c.u32()? as usize;
+                    if tag_count > 1024 {
+                        return Err(io::Error::new(io::ErrorKind::InvalidData, "too many tags"));
+                    }
+                    let mut tags = Vec::with_capacity(tag_count);
+                    for _ in 0..tag_count {
+                        tags.push(c.string()?);
+                    }
+                    items.push(PutItem { key, value, tags });
+                }
+                Request::MultiPut { items }
+            }
+            11 => Request::MultiGet {
+                keys: c.string_list()?,
+            },
+            12 => Request::MultiDelete {
+                keys: c.string_list()?,
+            },
             op => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -336,6 +488,13 @@ impl Response {
                     put_str(&mut out, label);
                 }
             }
+            Response::Batch { parts } => {
+                out.push(9);
+                out.extend_from_slice(&(parts.len() as u32).to_le_bytes());
+                for part in parts {
+                    out.extend_from_slice(&part.encode());
+                }
+            }
         }
         out
     }
@@ -343,6 +502,21 @@ impl Response {
     /// Decodes from a payload.
     pub fn decode(buf: &[u8]) -> io::Result<Response> {
         let mut c = Cursor { buf, pos: 0 };
+        let resp = Self::decode_one(&mut c, true)?;
+        if !c.finished() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trailing bytes in response",
+            ));
+        }
+        Ok(resp)
+    }
+
+    /// Decodes one response at the cursor. Parts are self-describing, so a
+    /// `Batch` decodes its parts recursively — exactly one level deep
+    /// (`allow_batch` is false for parts, so `Batch` inside `Batch` is a
+    /// wire error, bounding recursion).
+    fn decode_one(c: &mut Cursor<'_>, allow_batch: bool) -> io::Result<Response> {
         let resp = match c.u8()? {
             0 => Response::Pong,
             1 => Response::PutOk {
@@ -378,6 +552,20 @@ impl Response {
                 }
                 Response::Rules { rules }
             }
+            9 if allow_batch => {
+                let n = c.batch_count()?;
+                let mut parts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    parts.push(Self::decode_one(c, false)?);
+                }
+                Response::Batch { parts }
+            }
+            9 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "nested batch response",
+                ))
+            }
             op => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -385,12 +573,6 @@ impl Response {
                 ))
             }
         };
-        if !c.finished() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "trailing bytes in response",
-            ));
-        }
         Ok(resp)
     }
 }
@@ -428,6 +610,71 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(Some(payload))
+}
+
+// ---- v2 handshake ----
+
+/// Writes a hello message: `[MAGIC][version]`, both `u32` little-endian.
+/// Sent by a v2 client as its first bytes; echoed by the server with the
+/// granted version.
+pub fn write_hello<W: Write>(w: &mut W, version: u32) -> io::Result<()> {
+    w.write_all(&MAGIC.to_le_bytes())?;
+    w.write_all(&version.to_le_bytes())?;
+    w.flush()
+}
+
+/// Reads a hello message, validating the magic. Returns the peer's
+/// version. Fails with `InvalidData` if the magic is wrong (e.g. the peer
+/// is a v1 server answering with a frame instead of a hello).
+pub fn read_hello<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    let (magic, version) = buf.split_at(4);
+    if le_u32(magic)? != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "peer does not speak the pipelined protocol (bad hello magic)",
+        ));
+    }
+    le_u32(version)
+}
+
+/// The version a server grants a client that asked for `want`: the highest
+/// version both sides speak. `want` below 2 is unsatisfiable over a hello
+/// (v1 clients never send one) and yields 0, meaning "refused".
+pub fn negotiate(want: u32) -> u32 {
+    if want < 2 {
+        0
+    } else {
+        want.min(VERSION)
+    }
+}
+
+// ---- v2 sequenced frames ----
+
+/// Appends a sequenced frame (`u32` length, `u64` sequence number,
+/// payload) to `w` **without flushing** — callers batch several frames and
+/// flush once (write coalescing is the point of the pipelined framing).
+pub fn write_seq_frame<W: Write>(w: &mut W, seq: u64, payload: &[u8]) -> io::Result<()> {
+    let len = payload.len() + SEQ_PREFIX;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too big"));
+    }
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(&seq.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Splits a v2 frame payload into its sequence number and message bytes.
+pub fn split_seq(frame: &[u8]) -> io::Result<(u64, &[u8])> {
+    if frame.len() < SEQ_PREFIX {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame too short for a sequence number",
+        ));
+    }
+    let (seq, payload) = frame.split_at(SEQ_PREFIX);
+    Ok((le_u64(seq)?, payload))
 }
 
 #[cfg(test)]
@@ -529,6 +776,104 @@ mod tests {
         buf.extend_from_slice(&(u32::MAX).to_le_bytes());
         let mut r = &buf[..];
         assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn multi_request_roundtrips() {
+        roundtrip_req(Request::MultiPut {
+            items: vec![
+                PutItem {
+                    key: "a".into(),
+                    value: vec![1, 2],
+                    tags: vec!["tmp".into()],
+                },
+                PutItem {
+                    key: "b".into(),
+                    value: Vec::new(),
+                    tags: Vec::new(),
+                },
+            ],
+        });
+        roundtrip_req(Request::MultiGet {
+            keys: vec!["a".into(), "".into(), "c/d".into()],
+        });
+        roundtrip_req(Request::MultiDelete { keys: Vec::new() });
+    }
+
+    #[test]
+    fn batch_response_roundtrips_with_partial_failure() {
+        roundtrip_resp(Response::Batch {
+            parts: vec![
+                Response::PutOk { latency_ns: 1 },
+                Response::Error {
+                    message: "tier full".into(),
+                },
+                Response::GetOk {
+                    value: vec![9; 32],
+                    latency_ns: 2,
+                    served_by: "mem".into(),
+                },
+                Response::Deleted { latency_ns: 3 },
+            ],
+        });
+        roundtrip_resp(Response::Batch { parts: Vec::new() });
+    }
+
+    #[test]
+    fn nested_batch_is_rejected() {
+        let nested = Response::Batch {
+            parts: vec![Response::Batch {
+                parts: vec![Response::Pong],
+            }],
+        };
+        assert!(Response::decode(&nested.encode()).is_err());
+    }
+
+    #[test]
+    fn oversized_batch_counts_are_rejected_before_allocation() {
+        // MultiGet claiming u32::MAX keys.
+        let mut enc = vec![11u8];
+        enc.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(&enc).is_err());
+        // Batch response claiming MAX_BATCH+1 parts.
+        let mut enc = vec![9u8];
+        enc.extend_from_slice(&((MAX_BATCH + 1) as u32).to_le_bytes());
+        assert!(Response::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn hello_roundtrip_and_negotiation() {
+        let mut buf = Vec::new();
+        write_hello(&mut buf, VERSION).unwrap();
+        assert_eq!(read_hello(&mut &buf[..]).unwrap(), VERSION);
+        // A v1 frame header where a hello is expected: magic mismatch.
+        let mut frame = Vec::new();
+        write_frame(&mut frame, b"ping").unwrap();
+        assert!(read_hello(&mut &frame[..]).is_err());
+        assert_eq!(negotiate(2), 2);
+        assert_eq!(negotiate(99), VERSION, "future clients clamp down");
+        assert_eq!(negotiate(1), 0, "hello below v2 is refused");
+        assert_eq!(negotiate(0), 0);
+    }
+
+    #[test]
+    fn magic_can_never_be_a_frame_length() {
+        // The sniff in the server depends on this.
+        assert!((MAGIC as usize) > MAX_FRAME);
+    }
+
+    #[test]
+    fn seq_frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_seq_frame(&mut buf, 7, b"payload").unwrap();
+        write_seq_frame(&mut buf, u64::MAX, b"").unwrap();
+        let mut r = &buf[..];
+        let f1 = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(split_seq(&f1).unwrap(), (7, &b"payload"[..]));
+        let f2 = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(split_seq(&f2).unwrap(), (u64::MAX, &b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+        assert!(split_seq(b"short").is_err());
     }
 
     #[test]

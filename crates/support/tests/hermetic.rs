@@ -220,6 +220,58 @@ fn std_sync_locks_only_in_support() {
 }
 
 #[test]
+fn wire_decoders_cannot_panic_on_hostile_input() {
+    // `crates/rpc/src/proto.rs` is the only code that parses bytes an
+    // untrusted peer controls; every decode path there must return
+    // `io::Result`, never panic. The proto fuzz suite exercises this
+    // dynamically; this lint pins it statically: outside the `#[cfg(test)]`
+    // module, no panicking construct may appear in the file at all. (Even
+    // `unwrap` on a value "known" to be fine is banned — refactors have a
+    // way of breaking such knowledge silently.)
+    let proto = workspace_root()
+        .join("crates")
+        .join("rpc")
+        .join("src")
+        .join("proto.rs");
+    let text = fs::read_to_string(&proto).unwrap_or_else(|e| panic!("read {proto:?}: {e}"));
+    // Everything from the test-module marker onward is non-shipping code.
+    let shipping = match text.find("#[cfg(test)]") {
+        Some(idx) => &text[..idx],
+        None => &text[..],
+    };
+    let banned = [
+        ".unwrap(",
+        ".expect(",
+        "panic!(",
+        "unreachable!(",
+        "todo!(",
+        "unimplemented!(",
+        "assert!(",
+        "assert_eq!(",
+        "assert_ne!(",
+        "[0]", // direct indexing is a panic in disguise
+    ];
+    let mut violations = Vec::new();
+    for (i, raw) in shipping.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with("//") || line.starts_with("//!") {
+            continue;
+        }
+        for pat in banned {
+            if line.contains(pat) {
+                violations.push(format!("{}:{}: {line}", proto.display(), i + 1));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "panicking construct reachable from wire input in proto.rs \
+         (return io::Result instead):\n  {}",
+        violations.join("\n  ")
+    );
+}
+
+#[test]
 fn registry_hot_path_uses_fx_hash_maps() {
     // The sharded registry hashes every key twice per operation (shard
     // pick + in-shard probe); `tiera_support::collections::FxHashMap` is

@@ -26,6 +26,9 @@ cargo run -q --release --offline --bin tiera-lint -- --deny-warnings --quiet spe
 echo "==> bench smoke (quick mode; schema only, no timing assertions)"
 ./scripts/bench.sh
 
+echo "==> rpc smoke (pipelined echo + batch round trip against a live server)"
+./target/release/tiera-bench rpc-smoke --quick
+
 echo "==> chaos smoke (deterministic; seed 1 replays byte-identically)"
 CHAOS_OUT="$(mktemp -t tiera-chaos-XXXXXX.json)"
 trap 'rm -f "$CHAOS_OUT"' EXIT
