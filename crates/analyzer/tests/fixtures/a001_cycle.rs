@@ -1,0 +1,31 @@
+//! Fixture: two functions acquire the same pair of (table-unknown,
+//! equal-rank) locks in opposite orders — a cycle in the acquired-while-
+//! held graph with no rank information, so A001 fires alone.
+
+use tiera_support::sync::Mutex;
+
+pub struct Pair {
+    left: Mutex<u32>,
+    right: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn build() -> Self {
+        Self {
+            left: Mutex::named("fixture.left", 7, 0),
+            right: Mutex::named("fixture.right", 7, 0),
+        }
+    }
+
+    pub fn forward(&self) -> u32 {
+        let l = self.left.lock();
+        let r = self.right.lock();
+        *l + *r
+    }
+
+    pub fn backward(&self) -> u32 {
+        let r = self.right.lock();
+        let l = self.left.lock();
+        *r - *l
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: a channel receive while holding a lock — the thread parks
+//! with the lock held, so every other locker queues behind a message that
+//! may never come (A003).
+
+use tiera_support::channel::Receiver;
+use tiera_support::sync::Mutex;
+
+pub struct Worker {
+    queue: Mutex<Vec<u8>>,
+    rx: Receiver<u8>,
+}
+
+impl Worker {
+    pub fn build(rx: Receiver<u8>) -> Self {
+        Self {
+            queue: Mutex::named("fixture.queue", 9, Vec::new()),
+            rx,
+        }
+    }
+
+    pub fn pump(&self) {
+        let mut q = self.queue.lock();
+        let item = self.rx.recv();
+        if let Ok(item) = item {
+            q.push(item);
+        }
+    }
+}

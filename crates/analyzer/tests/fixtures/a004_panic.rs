@@ -1,0 +1,7 @@
+//! Fixture: a "wire decoder" that panics on short input (A004 under a
+//! panic-free configuration naming this file).
+
+pub fn decode(buf: &[u8]) -> u32 {
+    let first = buf.first().copied().unwrap();
+    u32::from(first) + buf.len() as u32
+}

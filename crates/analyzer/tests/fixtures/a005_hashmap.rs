@@ -1,0 +1,14 @@
+//! Fixture: a default-hashed map in a file configured as hot-path (A005):
+//! SipHash per key plus per-process-random iteration order.
+
+use std::collections::HashMap;
+
+pub struct Index {
+    map: HashMap<u64, u64>,
+}
+
+impl Index {
+    pub fn get(&self, k: u64) -> Option<u64> {
+        self.map.get(&k).copied()
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: a std::sync lock outside tiera-support (A006) — bypasses the
+//! workspace's non-poisoning policy, naming, and the lockcheck sanitizer.
+
+use std::sync::Mutex;
+
+pub struct Gauge {
+    inner: Mutex<u64>,
+}

@@ -1,0 +1,19 @@
+//! Fixture: two anonymous locks in one file (A007) — at a multi-lock
+//! site, unnamed locks are invisible to both the static pass and the
+//! runtime sanitizer, so their relative order goes unchecked.
+
+use tiera_support::sync::{Mutex, RwLock};
+
+pub struct Pair {
+    counter: Mutex<u64>,
+    table: RwLock<Vec<u8>>,
+}
+
+impl Pair {
+    pub fn build() -> Self {
+        Self {
+            counter: Mutex::new(0),
+            table: RwLock::new(Vec::new()),
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Golden diagnostic tests: one fixture per A-code under
+//! `tests/fixtures/`, asserting the stable code, the anchor line, and the
+//! rustc-style rendering. Fixtures are fed with bare-filename labels so
+//! the path-scoping rules (`tests/` exclusion, support exemption) do not
+//! apply to them.
+
+use tiera_analyze::{analyze_file, analyze_workspace, Analysis, Config, FileInput};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn line_of(source: &str, needle: &str) -> u32 {
+    (source
+        .lines()
+        .position(|l| l.contains(needle))
+        .unwrap_or_else(|| panic!("fixture lost its `{needle}` line"))
+        + 1) as u32
+}
+
+fn codes(analysis: &Analysis) -> Vec<&'static str> {
+    analysis.diagnostics().iter().map(|d| d.code.code()).collect()
+}
+
+#[test]
+fn a001_cycle_fixture() {
+    let src = fixture("a001_cycle.rs");
+    let analysis = analyze_file("a001_cycle.rs", &src, &Config::workspace());
+    assert_eq!(codes(&analysis), ["A001"], "{analysis:?}");
+    let d = &analysis.diagnostics()[0];
+    assert!(d.message.contains("`fixture.left`") && d.message.contains("`fixture.right`"));
+    let rendered = analysis.render(&src, "a001_cycle.rs");
+    assert!(rendered.starts_with("error[A001]: lock-order cycle"));
+    assert!(rendered.contains("--> a001_cycle.rs:"));
+}
+
+#[test]
+fn a002_inversion_fixture_reports_both_rank_and_cycle() {
+    let src = fixture("a002_inversion.rs");
+    let analysis = analyze_file("a002_inversion.rs", &src, &Config::workspace());
+    let got = codes(&analysis);
+    assert!(got.contains(&"A002"), "{analysis:?}");
+    assert!(got.contains(&"A001"), "{analysis:?}");
+
+    let inversion_line = line_of(&src, "let _s = self.shards.write();");
+    let a002 = analysis
+        .diagnostics()
+        .iter()
+        .find(|d| d.code.code() == "A002")
+        .expect("A002 finding");
+    assert_eq!(a002.line, inversion_line);
+    assert!(a002.message.contains("`registry.shard` (rank 50)"));
+    assert!(a002.message.contains("`registry.order` (rank 52)"));
+
+    let rendered = analysis.render(&src, "a002_inversion.rs");
+    assert!(rendered.contains("error[A002]: lock-order inversion"));
+    assert!(rendered.contains(&format!("--> a002_inversion.rs:{inversion_line}")));
+    assert!(rendered.contains(&format!("{inversion_line} |         let _s = self.shards.write();")));
+    assert!(rendered.contains("= note: ranks are declared in `tiera_support::sync::rank`"));
+}
+
+#[test]
+fn a003_blocking_fixture() {
+    let src = fixture("a003_blocking.rs");
+    let analysis = analyze_file("a003_blocking.rs", &src, &Config::workspace());
+    assert_eq!(codes(&analysis), ["A003"], "{analysis:?}");
+    let d = &analysis.diagnostics()[0];
+    assert_eq!(d.line, line_of(&src, "self.rx.recv()"));
+    assert!(d.message.contains("`.recv()`"));
+    assert!(d.message.contains("`fixture.queue`"));
+    assert!(analysis
+        .render(&src, "a003_blocking.rs")
+        .starts_with("warning[A003]: blocking call"));
+}
+
+#[test]
+fn a004_panic_fixture() {
+    let src = fixture("a004_panic.rs");
+    let config = Config {
+        panic_free: vec!["a004_panic.rs".into()],
+        hot_path: vec![],
+    };
+    let analysis = analyze_file("a004_panic.rs", &src, &config);
+    assert_eq!(codes(&analysis), ["A004"], "{analysis:?}");
+    let d = &analysis.diagnostics()[0];
+    assert_eq!(d.line, line_of(&src, ".unwrap()"));
+    assert!(d.message.contains("`.unwrap(`"));
+    // Without the panic-free designation the file is clean.
+    assert!(analyze_file("a004_panic.rs", &src, &Config::workspace()).is_clean());
+}
+
+#[test]
+fn a005_hashmap_fixture() {
+    let src = fixture("a005_hashmap.rs");
+    let config = Config {
+        panic_free: vec![],
+        hot_path: vec!["a005_hashmap.rs".into()],
+    };
+    let analysis = analyze_file("a005_hashmap.rs", &src, &config);
+    assert_eq!(codes(&analysis), ["A005", "A005"], "{analysis:?}");
+    assert_eq!(
+        analysis.diagnostics()[0].line,
+        line_of(&src, "use std::collections::HashMap")
+    );
+    assert!(analyze_file("a005_hashmap.rs", &src, &Config::workspace()).is_clean());
+}
+
+#[test]
+fn a006_std_sync_fixture() {
+    let src = fixture("a006_std_sync.rs");
+    let analysis = analyze_file("a006_std_sync.rs", &src, &Config::workspace());
+    assert_eq!(codes(&analysis), ["A006"], "{analysis:?}");
+    assert_eq!(
+        analysis.diagnostics()[0].line,
+        line_of(&src, "use std::sync::Mutex")
+    );
+    // The support crate itself is exempt.
+    assert!(analyze_file("crates/support/src/x.rs", &src, &Config::workspace()).is_clean());
+}
+
+#[test]
+fn a007_unnamed_fixture() {
+    let src = fixture("a007_unnamed.rs");
+    // A007 applies to shipping src/ files.
+    let analysis = analyze_file("crates/demo/src/pair.rs", &src, &Config::workspace());
+    assert_eq!(codes(&analysis), ["A007", "A007"], "{analysis:?}");
+    assert_eq!(
+        analysis.diagnostics()[0].line,
+        line_of(&src, "Mutex::new(0)")
+    );
+}
+
+#[test]
+fn cross_file_cycle_is_detected_workspace_wide() {
+    // `forward` nests left→right in one "file", `backward` nests
+    // right→left in another: neither file alone cycles, the workspace does.
+    let file_a = r#"
+pub struct A { left: Mutex<u32>, right: Mutex<u32> }
+impl A {
+    pub fn build() -> Self {
+        Self { left: Mutex::named("span.left", 3, 0), right: Mutex::named("span.right", 3, 0) }
+    }
+    pub fn forward(&self) {
+        let l = self.left.lock();
+        let _r = self.right.lock();
+        drop(l);
+    }
+}
+"#;
+    let file_b = r#"
+pub struct B { left: Mutex<u32>, right: Mutex<u32> }
+impl B {
+    pub fn build() -> Self {
+        Self { left: Mutex::named("span.left", 3, 0), right: Mutex::named("span.right", 3, 0) }
+    }
+    pub fn backward(&self) {
+        let r = self.right.lock();
+        let _l = self.left.lock();
+        drop(r);
+    }
+}
+"#;
+    let reports = analyze_workspace(
+        &[
+            FileInput {
+                path: "crates/x/src/a.rs".into(),
+                source: file_a.into(),
+            },
+            FileInput {
+                path: "crates/x/src/b.rs".into(),
+                source: file_b.into(),
+            },
+        ],
+        &Config::workspace(),
+    );
+    let total: Vec<&str> = reports
+        .iter()
+        .flat_map(|r| r.analysis.diagnostics())
+        .map(|d| d.code.code())
+        .collect();
+    assert_eq!(total, ["A001"], "reports: {reports:?}");
+    // Each file alone is clean.
+    assert!(analyze_file("crates/x/src/a.rs", file_a, &Config::workspace()).is_clean());
+    assert!(analyze_file("crates/x/src/b.rs", file_b, &Config::workspace()).is_clean());
+}

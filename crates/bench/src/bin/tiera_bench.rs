@@ -35,6 +35,20 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The lockcheck sanitizer adds a per-acquisition graph walk — any
+    // timing measured with it enabled is meaningless. `check` only parses
+    // an existing report, so it stays usable from instrumented builds.
+    let measuring = matches!(
+        args.first().map(String::as_str),
+        Some("hotpath" | "rpc-smoke" | "chaos")
+    );
+    if measuring && tiera_support::sync::LOCKCHECK {
+        eprintln!(
+            "tiera-bench: this binary was built with the `lockcheck` feature; \
+             refusing to measure (rebuild without --features lockcheck)"
+        );
+        return ExitCode::FAILURE;
+    }
     match args.first().map(String::as_str) {
         Some("hotpath") => {
             let mut quick = false;

@@ -28,7 +28,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use tiera_support::sync::{Mutex, RwLock};
+use tiera_support::sync::{rank, Mutex, RwLock};
 use tiera_support::{Bytes, SimRng};
 
 use tiera_codec::{lzss, ChaCha20, Digest};
@@ -266,17 +266,21 @@ impl Instance {
         Self {
             name,
             env,
-            tiers: RwLock::new(tiers),
+            tiers: RwLock::named("instance.tiers", rank::INSTANCE_TIERS, tiers),
             policy,
             registry,
             stats: InstanceStats::new(),
-            keyring: RwLock::new(HashMap::new()),
-            background: Mutex::new(BackgroundQueue::default()),
+            keyring: RwLock::named("instance.keyring", rank::INSTANCE_KEYRING, HashMap::new()),
+            background: Mutex::named(
+                "instance.background",
+                rank::INSTANCE_BACKGROUND,
+                BackgroundQueue::default(),
+            ),
             control_layer: AtomicBool::new(true),
-            retry: RwLock::new(RetryPolicy::none()),
+            retry: RwLock::named("instance.retry", rank::INSTANCE_RETRY, RetryPolicy::none()),
             retry_active: AtomicBool::new(false),
-            retry_rng: Mutex::new(retry_rng),
-            alerts: Mutex::new(Vec::new()),
+            retry_rng: Mutex::named("instance.retry_rng", rank::INSTANCE_RETRY_RNG, retry_rng),
+            alerts: Mutex::named("instance.alerts", rank::INSTANCE_ALERTS, Vec::new()),
             alerts_total: AtomicU64::new(0),
         }
     }

@@ -9,7 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use tiera_support::sync::RwLock;
+use tiera_support::sync::{rank, RwLock};
 use tiera_sim::SimTime;
 
 use crate::event::EventKind;
@@ -92,10 +92,19 @@ pub(crate) struct InstalledRule {
 /// Cloning the handle shares the underlying policy (it is an
 /// `Arc<RwLock<..>>` internally), matching how a monitoring application and
 /// the instance share one policy (paper §4.2.3's failover scenario).
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Policy {
     inner: Arc<RwLock<Vec<InstalledRule>>>,
     next_id: Arc<AtomicU64>,
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Self {
+            inner: Arc::new(RwLock::named("policy.rules", rank::POLICY_RULES, Vec::new())),
+            next_id: Arc::new(AtomicU64::new(0)),
+        }
+    }
 }
 
 impl Policy {

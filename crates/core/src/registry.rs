@@ -39,7 +39,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use tiera_support::collections::{fx_hash_one, FxHashMap};
-use tiera_support::sync::{Mutex, RwLock};
+use tiera_support::sync::{rank, Mutex, RwLock};
 use tiera_codec::Digest;
 use tiera_metastore::MetaStore;
 use tiera_sim::SimTime;
@@ -129,12 +129,18 @@ impl Registry {
     /// An in-memory registry (no persistence).
     pub fn in_memory() -> Self {
         Self {
-            shards: (0..SHARD_COUNT).map(|_| RwLock::new(Shard::default())).collect(),
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::named("registry.shard", rank::REGISTRY_SHARD, Shard::default()))
+                .collect(),
             seq: AtomicU64::new(0),
             count: AtomicU64::new(0),
-            order: RwLock::new(OrderIndexes::default()),
-            aggregates: RwLock::new(FxHashMap::default()),
-            dedup: Mutex::new(FxHashMap::default()),
+            order: RwLock::named("registry.order", rank::REGISTRY_ORDER, OrderIndexes::default()),
+            aggregates: RwLock::named(
+                "registry.aggregates",
+                rank::REGISTRY_AGGREGATES,
+                FxHashMap::default(),
+            ),
+            dedup: Mutex::named("registry.dedup", rank::REGISTRY_DEDUP, FxHashMap::default()),
             store: None,
         }
     }

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use tiera_support::collections::{fx_hash_one, FxHashMap};
-use tiera_support::sync::Mutex;
+use tiera_support::sync::{rank, Mutex};
 use tiera_sim::{Histogram, SimDuration};
 
 /// Number of latency-recording stripes. Matches the largest request pool
@@ -62,7 +62,9 @@ impl InstanceStats {
     /// Creates empty statistics.
     pub fn new() -> Self {
         Self {
-            stripes: (0..STRIPES).map(|_| Mutex::new(Stripe::default())).collect(),
+            stripes: (0..STRIPES)
+                .map(|_| Mutex::named("stats.stripe", rank::STATS_STRIPE, Stripe::default()))
+                .collect(),
             events_fired: AtomicU64::new(0),
             responses_run: AtomicU64::new(0),
             background_queued: AtomicU64::new(0),

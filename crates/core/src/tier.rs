@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use tiera_support::Bytes;
-use tiera_support::sync::Mutex;
+use tiera_support::sync::{rank, Mutex};
 
 use tiera_sim::{SimDuration, SimTime, StorageClass};
 
@@ -164,9 +164,9 @@ impl MemTier {
     pub fn with_capacity(name: impl Into<String>, capacity: u64) -> Arc<Self> {
         Arc::new(Self {
             name: name.into(),
-            capacity: Mutex::new(capacity),
+            capacity: Mutex::named("memtier.capacity", rank::MEMTIER_CAPACITY, capacity),
             traits_: TierTraits::default(),
-            state: Mutex::new(MemState::default()),
+            state: Mutex::named("memtier.state", rank::MEMTIER_STATE, MemState::default()),
         })
     }
 
@@ -174,9 +174,9 @@ impl MemTier {
     pub fn with_traits(name: impl Into<String>, capacity: u64, traits_: TierTraits) -> Arc<Self> {
         Arc::new(Self {
             name: name.into(),
-            capacity: Mutex::new(capacity),
+            capacity: Mutex::named("memtier.capacity", rank::MEMTIER_CAPACITY, capacity),
             traits_,
-            state: Mutex::new(MemState::default()),
+            state: Mutex::named("memtier.state", rank::MEMTIER_STATE, MemState::default()),
         })
     }
 }

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use tiera_support::sync::Mutex;
+use tiera_support::sync::{rank, Mutex};
 
 use tiera_core::error::TieraError;
 use tiera_fs::TieraFs;
@@ -196,7 +196,7 @@ impl MiniDb {
                 fs,
                 cfg,
                 table_path,
-                shared: Mutex::new(Shared {
+                shared: Mutex::named("db.shared", rank::DB_SHARED, Shared {
                     pool,
                     os_cache,
                     journal_len: 0,

@@ -13,7 +13,7 @@
 //! queue grows with the thread count, collapsing throughput to that of one
 //! slow serial executor.
 
-use tiera_support::sync::Mutex;
+use tiera_support::sync::{rank, Mutex};
 use tiera_sim::{SerialResource, SimDuration, SimTime};
 
 use crate::engine::{DbError, Op, TxnReceipt};
@@ -40,7 +40,7 @@ impl MemoryEngine {
             })
             .collect();
         Self {
-            rows: Mutex::new(table),
+            rows: Mutex::named("db.rows", rank::DB_ROWS, table),
             row_size,
             table_lock: SerialResource::new(),
             // Table-level locking forces scan-ish costs; 8 concurrent

@@ -27,7 +27,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use tiera_support::Bytes;
-use tiera_support::sync::RwLock;
+use tiera_support::sync::{rank, RwLock};
 
 use tiera_core::error::{Result, TieraError};
 use tiera_core::instance::Instance;
@@ -70,7 +70,7 @@ impl TieraFs {
         Self {
             instance,
             chunk_size,
-            files: RwLock::new(HashMap::new()),
+            files: RwLock::named("fs.files", rank::FS_FILES, HashMap::new()),
         }
     }
 

@@ -5,7 +5,7 @@ use std::fs::{self, File, OpenOptions};
 use std::io;
 use std::path::{Path, PathBuf};
 
-use tiera_support::sync::Mutex;
+use tiera_support::sync::{rank, Mutex};
 
 use crate::log::{LogReader, LogWriter, Record, RecordKind};
 
@@ -178,7 +178,7 @@ impl MetaStore {
         let writer = LogWriter::new(active_file, last_valid_len)?;
 
         Ok(Self {
-            inner: Mutex::new(Inner {
+            inner: Mutex::named("metastore.log", rank::METASTORE_LOG, Inner {
                 dir,
                 map,
                 writer,

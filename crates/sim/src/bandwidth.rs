@@ -15,7 +15,7 @@
 use std::collections::BTreeMap;
 
 use crate::clock::{SimDuration, SimTime};
-use tiera_support::sync::Mutex;
+use tiera_support::sync::{rank, Mutex};
 
 /// How far behind the newest reservation a completed interval must be
 /// before it is pruned. Callers' virtual clocks are expected to stay within
@@ -64,7 +64,7 @@ impl SharedBandwidth {
         );
         Self {
             bytes_per_sec,
-            busy: Mutex::new(BTreeMap::new()),
+            busy: Mutex::named("bandwidth.busy", rank::BANDWIDTH_BUSY, BTreeMap::new()),
         }
     }
 

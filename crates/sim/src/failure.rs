@@ -22,7 +22,7 @@
 
 use crate::clock::{SimDuration, SimTime};
 use tiera_support::SimRng;
-use tiera_support::sync::{Mutex, RwLock};
+use tiera_support::sync::{rank, Mutex, RwLock};
 
 /// Which operations a failure window affects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,9 +188,9 @@ pub struct FailureInjector {
 impl Default for FailureInjector {
     fn default() -> Self {
         Self {
-            windows: RwLock::new(Vec::new()),
-            specs: RwLock::new(Vec::new()),
-            rng: Mutex::new(SimRng::new(0)),
+            windows: RwLock::named("failure.windows", rank::FAILURE_WINDOWS, Vec::new()),
+            specs: RwLock::named("failure.specs", rank::FAILURE_SPECS, Vec::new()),
+            rng: Mutex::named("failure.rng", rank::FAILURE_RNG, SimRng::new(0)),
         }
     }
 }

@@ -7,7 +7,7 @@
 //! Shrinks are immediate (releasing a node needs no spawn).
 
 use crate::clock::{SimDuration, SimTime};
-use tiera_support::sync::Mutex;
+use tiera_support::sync::{rank, Mutex};
 
 /// A pending capacity change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +35,7 @@ impl Provisioner {
     pub fn new(initial_capacity: u64, spawn_delay: SimDuration) -> Self {
         Self {
             spawn_delay,
-            state: Mutex::new(State {
+            state: Mutex::named("provision.state", rank::PROVISION_STATE, State {
                 capacity: initial_capacity,
                 pending: Vec::new(),
             }),

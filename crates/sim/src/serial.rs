@@ -9,16 +9,24 @@
 use std::collections::BTreeMap;
 
 use crate::clock::{SimDuration, SimTime};
-use tiera_support::sync::Mutex;
+use tiera_support::sync::{rank, Mutex};
 
 /// Prune horizon for completed intervals (callers stay far closer together
 /// than this; the workload drivers' pacer guarantees it).
 const PRUNE_HORIZON: SimDuration = SimDuration::from_secs(30);
 
 /// A gap-filling virtual-time lock / serial executor.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SerialResource {
     busy: Mutex<BTreeMap<u64, u64>>,
+}
+
+impl Default for SerialResource {
+    fn default() -> Self {
+        Self {
+            busy: Mutex::named("serial.busy", rank::SERIAL_BUSY, BTreeMap::new()),
+        }
+    }
 }
 
 /// Grant returned by [`SerialResource::acquire`].

@@ -6,14 +6,17 @@
 //! build --offline` on a bare toolchain is the contract (see DESIGN.md,
 //! "Hermetic dependency policy").
 //!
-//! Source half: every crate must carry `#![forbid(unsafe_code)]`, and no
-//! crate outside `tiera-support` may name `std::sync::Mutex` /
-//! `std::sync::RwLock` directly — the support crate's deadline-aware
-//! wrappers (`tiera_support::sync`) are the only sanctioned lock types, so
-//! lock-acquisition policy stays in one place.
+//! Source half: every crate must carry `#![forbid(unsafe_code)]`, and the
+//! source-lint rules that used to be hand-rolled here (std::sync
+//! containment, panic-free wire decoding, hot-path hashing) now run
+//! through `tiera-analyze` — the analyzer library is the single source of
+//! truth for the A004/A005/A006 rules, and these tests pin that the
+//! workspace stays clean under them even when `scripts/verify.sh` is not
+//! in the loop.
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use tiera_analyze::{analyze_workspace, collect_rust_sources, Config, FileInput, FileReport};
 
 fn workspace_root() -> PathBuf {
     // crates/support -> crates -> repo root
@@ -61,19 +64,44 @@ fn dependency_names(manifest: &str) -> Vec<String> {
     deps
 }
 
-/// All `.rs` files under `dir`, recursively (src/bin/, tests/, ...).
-fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries {
-        let path = entry.expect("read dir entry").path();
-        if path.is_dir() {
-            rust_sources(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
+/// Analyzer reports for every `.rs` file under `crates/`, with the
+/// workspace lint policy. Paths are repo-relative so the analyzer's
+/// path-scoping rules (support exemption, panic-free/hot-path suffixes)
+/// apply exactly as they do for `tiera-analyze --deny-warnings crates`.
+fn analyzer_reports() -> Vec<FileReport> {
+    let root = workspace_root();
+    let inputs: Vec<FileInput> = collect_rust_sources(&root.join("crates"))
+        .into_iter()
+        .map(|p| {
+            let source =
+                fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {p:?}: {e}"));
+            let path = p
+                .strip_prefix(&root)
+                .map(|r| r.to_string_lossy().into_owned())
+                .unwrap_or_else(|_| p.to_string_lossy().into_owned());
+            FileInput { path, source }
+        })
+        .collect();
+    assert!(
+        inputs.iter().any(|i| i.path.ends_with("crates/rpc/src/proto.rs")),
+        "workspace walk must reach proto.rs"
+    );
+    analyze_workspace(&inputs, &Config::workspace())
+}
+
+/// Findings carrying `code` across the whole workspace, formatted for a
+/// failure message.
+fn findings_with_code(reports: &[FileReport], code: &str) -> Vec<String> {
+    reports
+        .iter()
+        .flat_map(|r| {
+            r.analysis
+                .diagnostics()
+                .iter()
+                .filter(|d| d.code.code() == code)
+                .map(move |d| format!("{}:{}: {}", r.path, d.line, d.message))
+        })
+        .collect()
 }
 
 /// Crate directories under `crates/`, sorted for stable failure output.
@@ -101,9 +129,9 @@ fn no_external_dependencies_anywhere() {
         manifests.push(path);
     }
     assert!(
-        manifests.len() >= 14,
-        "expected the workspace root and 13+ member manifests (including \
-         crates/chaos), found {}",
+        manifests.len() >= 16,
+        "expected the workspace root and 15+ member manifests (including \
+         crates/analyzer), found {}",
         manifests.len()
     );
 
@@ -185,32 +213,10 @@ fn every_crate_forbids_unsafe_code() {
 fn std_sync_locks_only_in_support() {
     // `tiera_support::sync::{Mutex, RwLock}` are the only lock types the
     // workspace may use; reaching for std's directly bypasses the support
-    // crate's poisoning policy. The support crate itself wraps them and is
-    // exempt.
-    let mut violations = Vec::new();
-    for dir in crate_dirs() {
-        if dir.file_name().is_some_and(|n| n == "support") {
-            continue;
-        }
-        let mut sources = Vec::new();
-        rust_sources(&dir, &mut sources);
-        sources.sort();
-        for path in sources {
-            let text =
-                fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
-            for (i, raw) in text.lines().enumerate() {
-                let line = raw.trim();
-                if line.starts_with("//") || line.starts_with("//!") {
-                    continue;
-                }
-                if line.contains("std::sync::")
-                    && (line.contains("Mutex") || line.contains("RwLock"))
-                {
-                    violations.push(format!("{}:{}: {line}", path.display(), i + 1));
-                }
-            }
-        }
-    }
+    // crate's non-poisoning policy, lock naming, and the lockcheck
+    // sanitizer. The rule is analyzer lint A006 (the support crate itself
+    // wraps std's primitives and is exempt).
+    let violations = findings_with_code(&analyzer_reports(), "A006");
     assert!(
         violations.is_empty(),
         "direct std::sync lock usage outside tiera-support \
@@ -224,45 +230,11 @@ fn wire_decoders_cannot_panic_on_hostile_input() {
     // `crates/rpc/src/proto.rs` is the only code that parses bytes an
     // untrusted peer controls; every decode path there must return
     // `io::Result`, never panic. The proto fuzz suite exercises this
-    // dynamically; this lint pins it statically: outside the `#[cfg(test)]`
-    // module, no panicking construct may appear in the file at all. (Even
-    // `unwrap` on a value "known" to be fine is banned — refactors have a
-    // way of breaking such knowledge silently.)
-    let proto = workspace_root()
-        .join("crates")
-        .join("rpc")
-        .join("src")
-        .join("proto.rs");
-    let text = fs::read_to_string(&proto).unwrap_or_else(|e| panic!("read {proto:?}: {e}"));
-    // Everything from the test-module marker onward is non-shipping code.
-    let shipping = match text.find("#[cfg(test)]") {
-        Some(idx) => &text[..idx],
-        None => &text[..],
-    };
-    let banned = [
-        ".unwrap(",
-        ".expect(",
-        "panic!(",
-        "unreachable!(",
-        "todo!(",
-        "unimplemented!(",
-        "assert!(",
-        "assert_eq!(",
-        "assert_ne!(",
-        "[0]", // direct indexing is a panic in disguise
-    ];
-    let mut violations = Vec::new();
-    for (i, raw) in shipping.lines().enumerate() {
-        let line = raw.trim();
-        if line.starts_with("//") || line.starts_with("//!") {
-            continue;
-        }
-        for pat in banned {
-            if line.contains(pat) {
-                violations.push(format!("{}:{}: {line}", proto.display(), i + 1));
-            }
-        }
-    }
+    // dynamically; analyzer lint A004 pins it statically: outside the
+    // `#[cfg(test)]` module, no panicking construct may appear in the file
+    // at all. (Even `unwrap` on a value "known" to be fine is banned —
+    // refactors have a way of breaking such knowledge silently.)
+    let violations = findings_with_code(&analyzer_reports(), "A004");
     assert!(
         violations.is_empty(),
         "panicking construct reachable from wire input in proto.rs \
@@ -278,36 +250,37 @@ fn registry_hot_path_uses_fx_hash_maps() {
     // the sanctioned map type there — a default-hashed
     // `std::collections::HashMap` would silently reintroduce SipHash *and*
     // per-process-random iteration order, which previously made experiment
-    // output drift run to run. Exemption: `matches`/`select` may build a
-    // transient `HashSet` for `Not`-complement evaluation (attacker-ignorant,
-    // not per-key hot), and every crate other than the registry keeps
-    // default hashing for DoS resistance.
-    let registry = workspace_root()
-        .join("crates")
-        .join("core")
-        .join("src")
-        .join("registry.rs");
-    let text =
-        fs::read_to_string(&registry).unwrap_or_else(|e| panic!("read {registry:?}: {e}"));
-    let mut violations = Vec::new();
-    for (i, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.starts_with("//") {
-            continue;
-        }
-        // A bare `HashMap<` (not Fx-prefixed, not explicitly parameterized
-        // with a hasher) in the registry is a default-hashed map.
-        if line.contains("HashMap<") && !line.contains("FxHashMap<") {
-            violations.push(format!("{}:{}: {line}", registry.display(), i + 1));
-        }
-        if line.contains("use std::collections::HashMap") {
-            violations.push(format!("{}:{}: {line}", registry.display(), i + 1));
-        }
-    }
+    // output drift run to run. Analyzer lint A005 enforces this; every
+    // crate other than the registry keeps default hashing for DoS
+    // resistance.
+    let violations = findings_with_code(&analyzer_reports(), "A005");
     assert!(
         violations.is_empty(),
         "default-hashed HashMap in the registry hot path \
          (use `tiera_support::collections::FxHashMap`):\n  {}",
         violations.join("\n  ")
+    );
+}
+
+#[test]
+fn workspace_is_clean_under_the_full_analyzer() {
+    // The whole A001–A007 gate, not just the migrated rules: a rank
+    // inversion or an unnamed lock anywhere in shipped code fails the
+    // hermetic suite, not only `scripts/verify.sh`.
+    let reports = analyzer_reports();
+    let dirty: Vec<String> = reports
+        .iter()
+        .filter(|r| !r.analysis.is_clean())
+        .flat_map(|r| {
+            r.analysis
+                .diagnostics()
+                .iter()
+                .map(move |d| format!("{}:{}: [{}] {}", r.path, d.line, d.code, d.message))
+        })
+        .collect();
+    assert!(
+        dirty.is_empty(),
+        "`tiera-analyze --deny-warnings` would fail on shipped sources:\n  {}",
+        dirty.join("\n  ")
     );
 }

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use tiera_support::Bytes;
-use tiera_support::sync::Mutex;
+use tiera_support::sync::{rank, Mutex};
 
 use tiera_core::error::{Result, TieraError};
 use tiera_core::object::ObjectKey;
@@ -98,10 +98,10 @@ impl SimulatedTier {
             bandwidth,
             op_occupancy_read: op_occupancy.0,
             op_occupancy_write: op_occupancy.1,
-            rng: Mutex::new(env.rng_for(name)),
-            state: Mutex::new(TierState::default()),
+            rng: Mutex::named("simtier.rng", rank::SIMTIER_RNG, env.rng_for(name)),
+            state: Mutex::named("simtier.state", rank::SIMTIER_STATE, TierState::default()),
             reshard_on_grow,
-            last_seen_capacity: Mutex::new(capacity),
+            last_seen_capacity: Mutex::named("simtier.last_seen", rank::SIMTIER_LAST_SEEN, capacity),
             small_write,
         }
     }

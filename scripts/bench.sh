@@ -29,6 +29,8 @@ if [[ "${1:-}" == "--full" ]]; then
 fi
 
 echo "==> cargo build --release --offline -p tiera-bench"
+# No --features here, ever: the lockcheck sanitizer must stay out of
+# measured builds (tiera-bench itself refuses to measure if it sneaks in).
 cargo build --release --offline -p tiera-bench
 
 echo "==> tiera-bench hotpath ${MODE:-(full)} --out $OUT"

@@ -23,6 +23,13 @@ cargo test -q
 echo "==> tiera-lint --deny-warnings specs/ (spec analyzer gate)"
 cargo run -q --release --offline --bin tiera-lint -- --deny-warnings --quiet specs/*.tiera
 
+echo "==> tiera-analyze --deny-warnings crates/ (concurrency analyzer gate)"
+cargo run -q --release --offline --bin tiera-analyze -- --deny-warnings --quiet crates
+
+echo "==> lockcheck tests (runtime lock-order sanitizer enabled)"
+cargo test --offline -q -p tiera-support -p tiera-core -p tiera-rpc -p tiera-chaos \
+    --features tiera-support/lockcheck
+
 echo "==> bench smoke (quick mode; schema only, no timing assertions)"
 ./scripts/bench.sh
 
