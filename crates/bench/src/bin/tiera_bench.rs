@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! tiera-bench hotpath [--quick] [--out BENCH_pr6.json]
+//! tiera-bench metastore [--quick] [--out BENCH_pr8.json]
 //! tiera-bench rpc-smoke [--quick]
 //! tiera-bench chaos [--quick] [--seed N] [--out BENCH_chaos.json]
 //! tiera-bench check <report.json>
@@ -9,26 +10,29 @@
 //!
 //! `hotpath` measures real-CPU throughput of the metadata hot path —
 //! including the single-shot and pipelined RPC scaling curves — and
-//! writes the `BENCH_pr6.json` report; `rpc-smoke` runs a fast end-to-end
-//! round trip of the pipelined RPC plane (echo, a full pipeline window,
-//! batches, and the legacy v1 framing) against a live in-process server;
-//! `chaos` drives the deterministic chaos scenarios at one seed and
-//! writes a replayable JSON summary; `check` validates an existing report
-//! against its schema (dispatched on the report's `bench`/`pr` fields,
-//! used by `scripts/bench.sh` and the smoke steps so committed artifacts
-//! can't rot — both the preserved `BENCH_pr3.json` and the current
-//! `BENCH_pr6.json` stay checkable). The figure experiments remain under
-//! the `experiments` binary — those are virtual-time and deterministic;
-//! `hotpath` is wall-clock by design.
+//! writes the `BENCH_pr6.json` report; `metastore` measures the sharded
+//! metastore's group-commit amortization and snapshot cold-start speedup
+//! on the real disk and writes `BENCH_pr8.json`; `rpc-smoke` runs a fast
+//! end-to-end round trip of the pipelined RPC plane (echo, a full
+//! pipeline window, batches, and the legacy v1 framing) against a live
+//! in-process server; `chaos` drives the deterministic chaos scenarios at
+//! one seed and writes a replayable JSON summary; `check` validates an
+//! existing report against its schema (dispatched on the report's
+//! `bench`/`pr` fields, used by `scripts/bench.sh` and the smoke steps so
+//! committed artifacts can't rot — the preserved `BENCH_pr3.json` and the
+//! current `BENCH_pr6.json`/`BENCH_pr8.json` all stay checkable). The
+//! figure experiments remain under the `experiments` binary — those are
+//! virtual-time and deterministic; `hotpath` and `metastore` are
+//! wall-clock by design.
 
 use std::process::ExitCode;
 
 use tiera_bench::json::Value;
-use tiera_bench::{chaos_report, hotpath};
+use tiera_bench::{chaos_report, hotpath, metastore_bench};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  tiera-bench hotpath [--quick] [--out PATH]\n  tiera-bench rpc-smoke [--quick]\n  tiera-bench chaos [--quick] [--seed N] [--out PATH]\n  tiera-bench check <report.json>"
+        "usage:\n  tiera-bench hotpath [--quick] [--out PATH]\n  tiera-bench metastore [--quick] [--out PATH]\n  tiera-bench rpc-smoke [--quick]\n  tiera-bench chaos [--quick] [--seed N] [--out PATH]\n  tiera-bench check <report.json>"
     );
     ExitCode::FAILURE
 }
@@ -40,7 +44,7 @@ fn main() -> ExitCode {
     // an existing report, so it stays usable from instrumented builds.
     let measuring = matches!(
         args.first().map(String::as_str),
-        Some("hotpath" | "rpc-smoke" | "chaos")
+        Some("hotpath" | "metastore" | "rpc-smoke" | "chaos")
     );
     if measuring && tiera_support::sync::LOCKCHECK {
         eprintln!(
@@ -66,6 +70,32 @@ fn main() -> ExitCode {
             }
             let report = hotpath::run(&hotpath::Options { quick });
             if let Err(e) = hotpath::validate(&report) {
+                eprintln!("internal error: generated report fails validation: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = std::fs::write(&out, report.to_pretty()) {
+                eprintln!("write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Some("metastore") => {
+            let mut quick = false;
+            let mut out = String::from("BENCH_pr8.json");
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--quick" => quick = true,
+                    "--out" => match rest.next() {
+                        Some(path) => out = path.clone(),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            let report = metastore_bench::run(&metastore_bench::Options { quick });
+            if let Err(e) = metastore_bench::validate(&report) {
                 eprintln!("internal error: generated report fails validation: {e}");
                 return ExitCode::FAILURE;
             }
@@ -150,6 +180,7 @@ fn main() -> ExitCode {
             };
             let outcome = match report.get("bench").and_then(Value::as_str) {
                 Some("chaos") => chaos_report::validate(&report),
+                Some("metastore") => metastore_bench::validate(&report),
                 _ => hotpath::validate(&report),
             };
             match outcome {

@@ -26,6 +26,7 @@ pub mod deployments;
 pub mod experiments;
 pub mod hotpath;
 pub mod json;
+pub mod metastore_bench;
 pub mod table;
 
 pub use table::Table;

@@ -1,0 +1,509 @@
+//! Wall-clock metastore benchmark (`tiera-bench metastore`).
+//!
+//! Measures the two claims of the sharded metastore rework on the real
+//! disk under the real clock:
+//!
+//! * **Group commit** — 8 concurrent writers under `sync_every_append`
+//!   durability, one shard (the worst-case convoy): per-op fsync
+//!   (`group_commit` off) vs commit-combining (`group_commit` on), with a
+//!   no-sync curve as the upper reference. The full-mode acceptance floor
+//!   is [`GROUP_SPEEDUP_FLOOR`]× — group commit must amortize the fsync,
+//!   not just match it.
+//! * **O(delta) recovery** — cold-start time at the same live-key count,
+//!   full-history replay (history = [`HISTORY_MULT`]× the live keys) vs
+//!   snapshot + empty-suffix replay after one compaction. Acceptance:
+//!   [`COLDSTART_SPEEDUP_FLOOR`]× at the largest point.
+//!
+//! Results land in `BENCH_pr8.json`; [`validate`] checks the schema in
+//! both modes and additionally enforces the acceptance thresholds on full
+//! (non-quick) reports, so the committed artifact can't rot.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use tiera_metastore::{MetaStore, MetaStoreOptions};
+
+use crate::json::Value;
+
+/// Concurrent writers in the group-commit comparison.
+pub const WRITERS: usize = 8;
+/// Total log records written per live key for the cold-start comparison
+/// (the "full history" a snapshot-less open must replay).
+pub const HISTORY_MULT: u64 = 16;
+/// Full-mode acceptance: group-commit throughput must be at least this
+/// multiple of the per-op-fsync baseline.
+pub const GROUP_SPEEDUP_FLOOR: f64 = 5.0;
+/// Full-mode acceptance: snapshot cold start must be at least this much
+/// faster than full-history replay at the headline point.
+pub const COLDSTART_SPEEDUP_FLOOR: f64 = 10.0;
+
+/// Benchmark options.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Quick mode: small keyspaces and short windows for CI smoke — the
+    /// numbers are noisy but the harness and schema are fully exercised.
+    pub quick: bool,
+}
+
+impl Options {
+    fn window(&self) -> Duration {
+        if self.quick {
+            Duration::from_millis(150)
+        } else {
+            Duration::from_millis(2000)
+        }
+    }
+
+    /// Live-key counts of the cold-start curve (ISSUE 8: up to 1M full,
+    /// 100k quick).
+    fn coldstart_points(&self) -> Vec<u64> {
+        if self.quick {
+            vec![2_000, 10_000]
+        } else {
+            vec![10_000, 100_000, 1_000_000]
+        }
+    }
+}
+
+const VALUE_BYTES: usize = 64;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = N.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "tiera-msbench-{}-{}-{}",
+        std::process::id(),
+        tag,
+        n
+    ))
+}
+
+/// One point of the writer comparison: [`WRITERS`] threads hammer a
+/// single-shard store closed-loop for `window`; returns `(ops_per_sec,
+/// fsyncs_per_op)`. One shard is deliberate — it is the worst case for a
+/// per-op-fsync store and exactly where commit-combining must win; the
+/// only variable across the three modes is the durability strategy.
+fn writer_point(window: Duration, sync: bool, group: bool) -> (f64, f64) {
+    let dir = temp_dir(if !sync {
+        "w-nosync"
+    } else if group {
+        "w-group"
+    } else {
+        "w-solo"
+    });
+    let store = Arc::new(
+        MetaStore::open_with(
+            &dir,
+            MetaStoreOptions {
+                sync_every_append: sync,
+                group_commit: group,
+                shards: 1,
+                compact_garbage_ratio: 1.0,
+                segment_max_bytes: 256 * 1024 * 1024, // no rotation mid-window
+                ..MetaStoreOptions::default()
+            },
+        )
+        .expect("open bench store"),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let start_gate = Arc::new(Barrier::new(WRITERS + 1));
+    let value = vec![0x5au8; VALUE_BYTES];
+    let workers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let start_gate = Arc::clone(&start_gate);
+            let value = value.clone();
+            std::thread::spawn(move || {
+                start_gate.wait();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = format!("w{w}-{:04}", ops % 2048);
+                    store.put(key.as_bytes(), &value).expect("bench put");
+                    ops += 1;
+                }
+                ops
+            })
+        })
+        .collect();
+    let fsyncs_before = store.stats().fsyncs;
+    start_gate.wait();
+    let start = Instant::now();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = workers.into_iter().map(|w| w.join().expect("writer")).sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    let fsyncs = store.stats().fsyncs - fsyncs_before;
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+    (
+        total as f64 / elapsed,
+        fsyncs as f64 / (total.max(1)) as f64,
+    )
+}
+
+fn bench_group_commit(opts: &Options) -> Value {
+    // Full mode interleaves best-of-3 trials across the modes: fdatasync
+    // latency on a shared virtio disk drifts over seconds, and the
+    // capacity of each durability strategy — not one unlucky disk phase —
+    // is the number the comparison claims.
+    let trials = if opts.quick { 1 } else { 3 };
+    let mut solo = (0.0f64, 0.0f64);
+    let mut group = (0.0f64, 0.0f64);
+    let mut nosync = (0.0f64, 0.0f64);
+    for trial in 0..trials {
+        eprintln!("  writers trial {}/{trials}: per-op fsync...", trial + 1);
+        let s = writer_point(opts.window(), true, false);
+        eprintln!("  writers trial {}/{trials}: group commit...", trial + 1);
+        let g = writer_point(opts.window(), true, true);
+        eprintln!("  writers trial {}/{trials}: no sync (reference)...", trial + 1);
+        let n = writer_point(opts.window(), false, false);
+        if s.0 > solo.0 {
+            solo = s;
+        }
+        if g.0 > group.0 {
+            group = g;
+        }
+        if n.0 > nosync.0 {
+            nosync = n;
+        }
+    }
+    let (solo, solo_fpo) = solo;
+    let (group, group_fpo) = group;
+    let (nosync, _) = nosync;
+    Value::obj([
+        ("writers", Value::Num(WRITERS as f64)),
+        ("sync_solo_ops_per_sec", Value::Num(solo)),
+        ("sync_group_ops_per_sec", Value::Num(group)),
+        ("nosync_ops_per_sec", Value::Num(nosync)),
+        (
+            "group_speedup",
+            Value::Num(if solo > 0.0 { group / solo } else { 0.0 }),
+        ),
+        ("solo_fsyncs_per_op", Value::Num(solo_fpo)),
+        ("group_fsyncs_per_op", Value::Num(group_fpo)),
+    ])
+}
+
+/// One cold-start point: builds `live` keys with [`HISTORY_MULT`]× write
+/// history, times a full-history open, compacts, then times a
+/// snapshot-suffix open of the very same state.
+fn coldstart_point(live: u64) -> Value {
+    let dir = temp_dir("cold");
+    let opts = MetaStoreOptions {
+        compact_garbage_ratio: 1.0, // keep the full history on disk
+        ..MetaStoreOptions::default()
+    };
+    {
+        let store = MetaStore::open_with(&dir, opts.clone()).expect("open build store");
+        let value = vec![0x5au8; 16];
+        for _round in 0..HISTORY_MULT {
+            for i in 0..live {
+                // Stable keys: every round overwrites the whole keyspace,
+                // so history = HISTORY_MULT × live records on disk.
+                let key = format!("obj-{i:08}");
+                store.put(key.as_bytes(), &value).expect("history put");
+            }
+        }
+        store.sync().expect("sync history");
+    }
+
+    let start = Instant::now();
+    let store = MetaStore::open_with(&dir, opts.clone()).expect("full-replay open");
+    let full_replay_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(store.len() as u64, live, "history built the wrong keyspace");
+
+    store.compact().expect("compact");
+    drop(store);
+
+    let start = Instant::now();
+    let store = MetaStore::open_with(&dir, opts).expect("snapshot open");
+    let snapshot_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(store.len() as u64, live, "snapshot lost keys");
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+
+    eprintln!(
+        "  cold-start {live} keys: full replay {full_replay_ms:.1} ms, \
+         snapshot {snapshot_ms:.1} ms"
+    );
+    Value::obj([
+        ("live_keys", Value::Num(live as f64)),
+        ("full_replay_ms", Value::Num(full_replay_ms)),
+        ("snapshot_ms", Value::Num(snapshot_ms)),
+        (
+            "speedup",
+            Value::Num(if snapshot_ms > 0.0 {
+                full_replay_ms / snapshot_ms
+            } else {
+                0.0
+            }),
+        ),
+    ])
+}
+
+fn bench_cold_start(opts: &Options) -> Value {
+    let points: Vec<Value> = opts
+        .coldstart_points()
+        .into_iter()
+        .map(coldstart_point)
+        .collect();
+    let headline = points.last().cloned().unwrap_or(Value::Null);
+    Value::obj([
+        ("points", Value::Arr(points)),
+        ("headline", headline),
+    ])
+}
+
+/// Runs the full metastore suite and assembles the `BENCH_pr8.json` report.
+pub fn run(opts: &Options) -> Value {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "metastore: wall-clock benchmark on {cores} core(s){}",
+        if opts.quick { " (quick mode)" } else { "" }
+    );
+    let group_commit = bench_group_commit(opts);
+    let cold_start = bench_cold_start(opts);
+    Value::obj([
+        ("bench", Value::Str("metastore".into())),
+        ("pr", Value::Num(8.0)),
+        ("quick", Value::Bool(opts.quick)),
+        (
+            "meta",
+            Value::obj([
+                ("cores", Value::Num(cores as f64)),
+                ("value_bytes", Value::Num(VALUE_BYTES as f64)),
+                ("history_mult", Value::Num(HISTORY_MULT as f64)),
+            ]),
+        ),
+        ("group_commit", group_commit),
+        ("cold_start", cold_start),
+    ])
+}
+
+fn positive_num(v: Option<&Value>, what: &str) -> Result<f64, String> {
+    v.and_then(Value::as_num)
+        .filter(|n| *n > 0.0 && n.is_finite())
+        .ok_or_else(|| format!("`{what}` must be a positive number"))
+}
+
+fn check_coldstart_point(point: &Value, what: &str) -> Result<f64, String> {
+    positive_num(point.get("live_keys"), &format!("{what}.live_keys"))?;
+    let full = positive_num(point.get("full_replay_ms"), &format!("{what}.full_replay_ms"))?;
+    let snap = positive_num(point.get("snapshot_ms"), &format!("{what}.snapshot_ms"))?;
+    let speedup = positive_num(point.get("speedup"), &format!("{what}.speedup"))?;
+    if (speedup - full / snap).abs() > speedup.abs() * 1e-6 {
+        return Err(format!("`{what}.speedup` disagrees with its ratio"));
+    }
+    Ok(speedup)
+}
+
+/// Validates a metastore report. Quick-mode reports are checked
+/// structurally only; a **full** report additionally carries the PR 8
+/// acceptance criteria — group-commit throughput at least
+/// [`GROUP_SPEEDUP_FLOOR`]× the per-op-fsync baseline, and the headline
+/// snapshot cold start at least [`COLDSTART_SPEEDUP_FLOOR`]× faster than
+/// full-history replay.
+pub fn validate(report: &Value) -> Result<(), String> {
+    if report.get("bench").and_then(Value::as_str) != Some("metastore") {
+        return Err("`bench` must be \"metastore\"".into());
+    }
+    report
+        .get("pr")
+        .and_then(Value::as_num)
+        .filter(|&n| n == 8.0)
+        .ok_or("`pr` must be 8")?;
+    let quick = match report.get("quick") {
+        Some(Value::Bool(q)) => *q,
+        _ => return Err("`quick` must be a boolean".into()),
+    };
+    let meta = report.get("meta").ok_or("missing `meta`")?;
+    positive_num(meta.get("cores"), "meta.cores")?;
+
+    let group = report.get("group_commit").ok_or("missing `group_commit`")?;
+    group
+        .get("writers")
+        .and_then(Value::as_num)
+        .filter(|&n| n == WRITERS as f64)
+        .ok_or_else(|| format!("`group_commit.writers` must be {WRITERS}"))?;
+    let solo = positive_num(
+        group.get("sync_solo_ops_per_sec"),
+        "group_commit.sync_solo_ops_per_sec",
+    )?;
+    let grouped = positive_num(
+        group.get("sync_group_ops_per_sec"),
+        "group_commit.sync_group_ops_per_sec",
+    )?;
+    positive_num(
+        group.get("nosync_ops_per_sec"),
+        "group_commit.nosync_ops_per_sec",
+    )?;
+    let speedup = positive_num(group.get("group_speedup"), "group_commit.group_speedup")?;
+    if (speedup - grouped / solo).abs() > speedup.abs() * 1e-6 {
+        return Err("`group_commit.group_speedup` disagrees with its ratio".into());
+    }
+    for field in ["solo_fsyncs_per_op", "group_fsyncs_per_op"] {
+        group
+            .get(field)
+            .and_then(Value::as_num)
+            .filter(|n| *n >= 0.0 && n.is_finite())
+            .ok_or_else(|| format!("`group_commit.{field}` must be a number"))?;
+    }
+
+    let cold = report.get("cold_start").ok_or("missing `cold_start`")?;
+    let points = cold
+        .get("points")
+        .and_then(Value::as_arr)
+        .filter(|p| !p.is_empty())
+        .ok_or("`cold_start.points` must be a non-empty array")?;
+    for (i, point) in points.iter().enumerate() {
+        check_coldstart_point(point, &format!("cold_start.points[{i}]"))?;
+    }
+    let headline = cold.get("headline").ok_or("missing `cold_start.headline`")?;
+    let cold_speedup = check_coldstart_point(headline, "cold_start.headline")?;
+
+    if quick {
+        return Ok(()); // CI smoke: schema only, no timing assertions.
+    }
+    // Full-mode acceptance thresholds (ISSUE 8).
+    if speedup < GROUP_SPEEDUP_FLOOR {
+        return Err(format!(
+            "group-commit speedup {speedup:.2}× is below the \
+             {GROUP_SPEEDUP_FLOOR}× acceptance floor"
+        ));
+    }
+    if cold_speedup < COLDSTART_SPEEDUP_FLOOR {
+        return Err(format!(
+            "snapshot cold-start speedup {cold_speedup:.2}× is below the \
+             {COLDSTART_SPEEDUP_FLOOR}× acceptance floor"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cold_point(live: f64, full_ms: f64, snap_ms: f64) -> Value {
+        Value::obj([
+            ("live_keys", Value::Num(live)),
+            ("full_replay_ms", Value::Num(full_ms)),
+            ("snapshot_ms", Value::Num(snap_ms)),
+            ("speedup", Value::Num(full_ms / snap_ms)),
+        ])
+    }
+
+    fn stub_report(quick: bool, group_speedup: f64, cold_speedup: f64) -> Value {
+        let solo = 5_000.0;
+        let headline = cold_point(100_000.0, 900.0 * cold_speedup, 900.0);
+        Value::obj([
+            ("bench", Value::Str("metastore".into())),
+            ("pr", Value::Num(8.0)),
+            ("quick", Value::Bool(quick)),
+            ("meta", Value::obj([("cores", Value::Num(1.0))])),
+            (
+                "group_commit",
+                Value::obj([
+                    ("writers", Value::Num(WRITERS as f64)),
+                    ("sync_solo_ops_per_sec", Value::Num(solo)),
+                    ("sync_group_ops_per_sec", Value::Num(solo * group_speedup)),
+                    ("nosync_ops_per_sec", Value::Num(400_000.0)),
+                    ("group_speedup", Value::Num(group_speedup)),
+                    ("solo_fsyncs_per_op", Value::Num(1.0)),
+                    ("group_fsyncs_per_op", Value::Num(1.0 / group_speedup)),
+                ]),
+            ),
+            (
+                "cold_start",
+                Value::obj([
+                    (
+                        "points",
+                        Value::Arr(vec![cold_point(10_000.0, 120.0, 9.0), headline.clone()]),
+                    ),
+                    ("headline", headline),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn validate_accepts_wellformed_reports() {
+        validate(&stub_report(true, 7.0, 14.0)).unwrap();
+        validate(&stub_report(false, 7.0, 14.0)).unwrap();
+    }
+
+    #[test]
+    fn full_mode_enforces_the_group_commit_floor() {
+        // 3× amortization: fine as a quick structural check, rejected in
+        // full mode where the 5× acceptance floor applies.
+        validate(&stub_report(true, 3.0, 14.0)).unwrap();
+        let err = validate(&stub_report(false, 3.0, 14.0)).unwrap_err();
+        assert!(err.contains("acceptance floor"), "{err}");
+    }
+
+    #[test]
+    fn full_mode_enforces_the_coldstart_floor() {
+        validate(&stub_report(true, 7.0, 4.0)).unwrap();
+        let err = validate(&stub_report(false, 7.0, 4.0)).unwrap_err();
+        assert!(err.contains("cold-start"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_missing_and_inconsistent_fields() {
+        let mut missing_group = stub_report(true, 7.0, 14.0);
+        if let Value::Obj(pairs) = &mut missing_group {
+            pairs.retain(|(k, _)| k != "group_commit");
+        }
+        assert!(validate(&missing_group).is_err());
+
+        let mut bad_ratio = stub_report(true, 7.0, 14.0);
+        if let Value::Obj(pairs) = &mut bad_ratio {
+            for (k, v) in pairs.iter_mut() {
+                if k == "group_commit" {
+                    if let Value::Obj(inner) = v {
+                        for (ik, iv) in inner.iter_mut() {
+                            if ik == "group_speedup" {
+                                *iv = Value::Num(99.0); // disagrees with ratio
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(validate(&bad_ratio).is_err());
+
+        let mut empty_points = stub_report(true, 7.0, 14.0);
+        if let Value::Obj(pairs) = &mut empty_points {
+            for (k, v) in pairs.iter_mut() {
+                if k == "cold_start" {
+                    if let Value::Obj(inner) = v {
+                        for (ik, iv) in inner.iter_mut() {
+                            if ik == "points" {
+                                *iv = Value::Arr(Vec::new());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(validate(&empty_points).is_err());
+
+        assert!(validate(&Value::Null).is_err());
+    }
+
+    /// A micro run of the real harness: tiny keyspace, real store, real
+    /// disk — exercises both measurement paths end to end.
+    #[test]
+    fn micro_run_produces_a_schema_valid_report() {
+        let point = coldstart_point(200);
+        check_coldstart_point(&point, "micro").unwrap();
+        let (rate, fpo) = writer_point(Duration::from_millis(30), true, true);
+        assert!(rate > 0.0);
+        assert!(fpo > 0.0);
+    }
+}

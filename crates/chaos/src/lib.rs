@@ -26,9 +26,11 @@
 #![warn(missing_docs)]
 
 pub mod invariants;
+pub mod metastore_crash;
 pub mod scenario;
 pub mod schedule;
 
 pub use invariants::{InvariantReport, WriteLedger};
+pub use metastore_crash::{run_crash_case, run_crash_matrix, CrashCaseReport};
 pub use scenario::{ChaosConfig, ChaosOutcome, ScenarioKind};
 pub use schedule::{FaultEvent, FaultSchedule};

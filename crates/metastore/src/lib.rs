@@ -2,22 +2,32 @@
 //!
 //! The Tiera prototype "stored and persisted all object metadata using
 //! BerkeleyDB" (paper §3). This crate is that substrate, built from
-//! scratch: a crash-safe, append-only, log-structured store with an
-//! in-memory index, CRC-framed records, tombstone deletes, log segment
-//! rotation and compaction.
+//! scratch: a crash-safe, sharded, log-structured store with in-memory
+//! indexes, CRC-framed records, tombstone deletes, group commit,
+//! snapshotting compaction, and O(delta) recovery.
 //!
 //! ## Design
 //!
-//! * All live key/value pairs are held in an in-memory map (object metadata
-//!   is small — the paper's future work is exactly about scaling this
-//!   horizontally).
-//! * Every mutation appends a CRC-framed record to the active log segment;
-//!   durability is delegated to [`MetaStore::sync`] (the Tiera server calls
-//!   it on its persistence schedule).
-//! * On open, segments are replayed in order; a torn tail record (partial
-//!   write from a crash) is detected by CRC/length and truncated away.
-//! * When the log's garbage ratio passes a threshold, [`MetaStore::compact`]
-//!   writes a fresh snapshot segment and removes the old ones.
+//! * Keys are hash-partitioned across N independent shards (default 8);
+//!   each shard owns its own segment chain, group-commit queue, and
+//!   in-memory index behind per-shard named locks, so unrelated puts
+//!   never contend and `open` recovers shards in parallel.
+//! * Every mutation appends a CRC-framed record to its shard's active
+//!   segment. Durability is either delegated to [`MetaStore::sync`]
+//!   (the Tiera server calls it on its persistence schedule) or — with
+//!   `sync_every_append` — enforced per operation, where **group
+//!   commit** combines concurrent writers into ~1 fsync per convoy.
+//! * On open, each shard loads its newest valid snapshot and replays
+//!   only the segments written after it; a torn tail record (partial
+//!   write from a crash) is detected by CRC/length and truncated away,
+//!   and a torn/corrupt snapshot falls back to full replay.
+//! * When a shard's garbage ratio passes a threshold (or on
+//!   [`MetaStore::compact`]), the shard writes its sorted index image as
+//!   a sealed snapshot and removes the superseded segments.
+//! * Crash safety is deterministically testable: [`kill`] plants kill
+//!   points at every durability transition, and
+//!   [`MetaStore::crash_image`] exposes the fsynced frontier so a
+//!   harness can simulate losing everything beyond it.
 //!
 //! The store is also usable as a general embedded KV (the RPC server uses
 //! one for account credentials, mirroring the paper's "location to
@@ -26,8 +36,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod kill;
 mod log;
 mod store;
 
-pub use log::{LogReader, LogWriter, Record, RecordKind};
-pub use store::{MetaStore, MetaStoreError, MetaStoreOptions, Stats};
+pub use kill::{KillPoints, KillSite};
+pub use log::{encoded_record_len, LogReader, LogWriter, Record, RecordKind};
+pub use store::{
+    MetaStore, MetaStoreError, MetaStoreOptions, Stats, GROUP_MAX_BATCH_BYTES,
+};

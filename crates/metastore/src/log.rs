@@ -26,6 +26,10 @@ pub enum RecordKind {
     Put,
     /// A tombstone marking the key deleted.
     Delete,
+    /// Snapshot seal: the final record of a snapshot file, whose value is
+    /// the little-endian `u64` count of entries preceding it. A snapshot
+    /// without a matching seal is torn and is rejected at recovery.
+    Seal,
 }
 
 impl RecordKind {
@@ -33,6 +37,7 @@ impl RecordKind {
         match self {
             RecordKind::Put => 0,
             RecordKind::Delete => 1,
+            RecordKind::Seal => 2,
         }
     }
 
@@ -40,6 +45,7 @@ impl RecordKind {
         match b {
             0 => Some(RecordKind::Put),
             1 => Some(RecordKind::Delete),
+            2 => Some(RecordKind::Seal),
             _ => None,
         }
     }
@@ -75,10 +81,37 @@ impl Record {
         }
     }
 
+    /// A snapshot seal over `count` preceding entries.
+    pub fn seal(count: u64) -> Self {
+        Record {
+            kind: RecordKind::Seal,
+            key: Vec::new(),
+            value: count.to_le_bytes().to_vec(),
+        }
+    }
+
+    /// The entry count carried by a [`RecordKind::Seal`] record, if this
+    /// is a well-formed one.
+    pub fn seal_count(&self) -> Option<u64> {
+        if self.kind != RecordKind::Seal {
+            return None;
+        }
+        let bytes: [u8; 8] = self.value.as_slice().try_into().ok()?;
+        Some(u64::from_le_bytes(bytes))
+    }
+
     /// Encoded size on disk.
     pub fn encoded_len(&self) -> u64 {
-        13 + self.key.len() as u64 + self.value.len() as u64
+        encoded_record_len(self.key.len(), self.value.len())
     }
+}
+
+/// Exact on-disk size of a record with the given key and value lengths —
+/// the single source of truth for dead-byte accounting, shared by the
+/// write path and segment replay so the compaction-trigger math is the
+/// same whether the store was just opened or long-running.
+pub fn encoded_record_len(key_len: usize, value_len: usize) -> u64 {
+    HEADER as u64 + key_len as u64 + value_len as u64
 }
 
 const HEADER: usize = 13; // crc(4) + klen(4) + vlen(4) + kind(1)
@@ -88,6 +121,7 @@ const HEADER: usize = 13; // crc(4) + klen(4) + vlen(4) + kind(1)
 pub struct LogWriter {
     out: BufWriter<File>,
     len: u64,
+    synced_len: u64,
 }
 
 impl LogWriter {
@@ -100,6 +134,10 @@ impl LogWriter {
         Ok(Self {
             out: BufWriter::new(file),
             len: existing_len,
+            // Pre-existing bytes came from a previous process life, so as
+            // far as *this* writer's crash image is concerned they are
+            // already on disk.
+            synced_len: existing_len,
         })
     }
 
@@ -127,12 +165,21 @@ impl LogWriter {
     /// Flushes and fsyncs.
     pub fn sync(&mut self) -> io::Result<()> {
         self.out.flush()?;
-        self.out.get_ref().sync_data()
+        self.out.get_ref().sync_data()?;
+        self.synced_len = self.len;
+        Ok(())
     }
 
     /// Bytes written so far (valid log length).
     pub fn len(&self) -> u64 {
         self.len
+    }
+
+    /// Bytes known to have reached stable storage (length as of the last
+    /// [`sync`](Self::sync)). The crash harness truncates files to this
+    /// length to simulate losing everything the OS had not persisted.
+    pub fn synced_len(&self) -> u64 {
+        self.synced_len
     }
 
     /// Whether the log is empty.

@@ -58,7 +58,9 @@ use std::sync::PoisonError;
 ///    `retry_rng`, `alerts`);
 /// 4. the registry (documented order **shard → order → aggregates**, with
 ///    `dedup` an independent leaf — see `crates/core/src/registry.rs`);
-/// 5. the metastore log;
+/// 5. the metastore shards (documented order **commit → queue → index**;
+///    every shard of a kind shares one name, so two shards' same-kind
+///    locks can never be held together);
 /// 6. tier internals (simulated + in-memory tiers, provisioner, fault
 ///    injector, shared-bandwidth and serial resources);
 /// 7. the stats stripes (pure leaves).
@@ -105,9 +107,18 @@ pub mod rank {
     /// The `storeOnce` dedup digest table (leaf: never held together with
     /// the other registry locks).
     pub const REGISTRY_DEDUP: u16 = 56;
-    /// The metastore append-log state; held across file IO by design (the
-    /// log write *is* the critical section).
-    pub const METASTORE_LOG: u16 = 60;
+    /// A metastore shard's durability state (log writer, segment chain);
+    /// held across file IO by design (the log write *is* the critical
+    /// section). All shards share the name, so holding two shards' commit
+    /// locks at once is itself a violation.
+    pub const METASTORE_COMMIT: u16 = 58;
+    /// A metastore shard's group-commit queue (drained by the batch
+    /// leader under the commit lock; only ever `try_recv`-style
+    /// non-blocking work happens under it).
+    pub const METASTORE_QUEUE: u16 = 60;
+    /// A metastore shard's read index (`RwLock`; readers never touch the
+    /// commit or queue locks).
+    pub const METASTORE_INDEX: u16 = 62;
     /// Simulated tier: last observed capacity (reshard detection).
     pub const SIMTIER_LAST_SEEN: u16 = 74;
     /// Simulated tier: latency-model RNG.
@@ -155,7 +166,9 @@ pub mod rank {
         ("registry.order", REGISTRY_ORDER),
         ("registry.aggregates", REGISTRY_AGGREGATES),
         ("registry.dedup", REGISTRY_DEDUP),
-        ("metastore.log", METASTORE_LOG),
+        ("metastore.commit", METASTORE_COMMIT),
+        ("metastore.queue", METASTORE_QUEUE),
+        ("metastore.index", METASTORE_INDEX),
         ("simtier.last_seen", SIMTIER_LAST_SEEN),
         ("simtier.rng", SIMTIER_RNG),
         ("simtier.state", SIMTIER_STATE),

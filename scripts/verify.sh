@@ -28,7 +28,7 @@ cargo run -q --release --offline --bin tiera-analyze -- --deny-warnings --quiet 
 
 echo "==> lockcheck tests (runtime lock-order sanitizer enabled)"
 cargo test --offline -q -p tiera-support -p tiera-core -p tiera-rpc -p tiera-chaos \
-    --features tiera-support/lockcheck
+    -p tiera-metastore --features tiera-support/lockcheck
 
 echo "==> bench smoke (quick mode; schema only, no timing assertions)"
 ./scripts/bench.sh
@@ -38,8 +38,13 @@ echo "==> rpc smoke (pipelined echo + batch round trip against a live server)"
 
 echo "==> chaos smoke (deterministic; seed 1 replays byte-identically)"
 CHAOS_OUT="$(mktemp -t tiera-chaos-XXXXXX.json)"
-trap 'rm -f "$CHAOS_OUT"' EXIT
+META_OUT="$(mktemp -t tiera-metastore-XXXXXX.json)"
+trap 'rm -f "$CHAOS_OUT" "$META_OUT"' EXIT
 ./target/release/tiera-bench chaos --quick --seed 1 --out "$CHAOS_OUT"
 ./target/release/tiera-bench check "$CHAOS_OUT"
+
+echo "==> metastore smoke (quick mode; schema only, no timing assertions)"
+./target/release/tiera-bench metastore --quick --out "$META_OUT"
+./target/release/tiera-bench check "$META_OUT"
 
 echo "verify: OK"
