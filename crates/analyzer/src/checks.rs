@@ -37,11 +37,14 @@ pub struct Config {
 }
 
 impl Config {
-    /// The workspace policy: proto.rs decodes hostile bytes, registry.rs
-    /// is the per-key hot path.
+    /// The workspace policy: proto.rs and the cluster wire module decode
+    /// hostile bytes, registry.rs is the per-key hot path.
     pub fn workspace() -> Self {
         Self {
-            panic_free: vec!["crates/rpc/src/proto.rs".into()],
+            panic_free: vec![
+                "crates/rpc/src/proto.rs".into(),
+                "crates/cluster/src/wire.rs".into(),
+            ],
             hot_path: vec!["crates/core/src/registry.rs".into()],
         }
     }

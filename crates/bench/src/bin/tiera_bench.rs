@@ -5,6 +5,8 @@
 //! tiera-bench metastore [--quick] [--out BENCH_pr8.json]
 //! tiera-bench rpc-smoke [--quick]
 //! tiera-bench chaos [--quick] [--seed N] [--out BENCH_chaos.json]
+//! tiera-bench cluster [--quick] [--out BENCH_pr9.json]
+//! tiera-bench cluster-chaos [--quick] [--seed N] [--out BENCH_cluster_chaos.json]
 //! tiera-bench check <report.json>
 //! ```
 //!
@@ -16,7 +18,12 @@
 //! end-to-end round trip of the pipelined RPC plane (echo, a full
 //! pipeline window, batches, and the legacy v1 framing) against a live
 //! in-process server; `chaos` drives the deterministic chaos scenarios at
-//! one seed and writes a replayable JSON summary; `check` validates an
+//! one seed and writes a replayable JSON summary; `cluster` measures
+//! routed-operation throughput through a three-node replicated
+//! coordinator against a single-node baseline and writes
+//! `BENCH_pr9.json`; `cluster-chaos` runs the node-fault matrix (kill,
+//! partition, rejoin-stale, kill-during-rebalance × two seeds) and
+//! writes a replayable summary; `check` validates an
 //! existing report against its schema (dispatched on the report's
 //! `bench`/`pr` fields, used by `scripts/bench.sh` and the smoke steps so
 //! committed artifacts can't rot — the preserved `BENCH_pr3.json` and the
@@ -28,11 +35,11 @@
 use std::process::ExitCode;
 
 use tiera_bench::json::Value;
-use tiera_bench::{chaos_report, hotpath, metastore_bench};
+use tiera_bench::{chaos_report, cluster_bench, hotpath, metastore_bench};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  tiera-bench hotpath [--quick] [--out PATH]\n  tiera-bench metastore [--quick] [--out PATH]\n  tiera-bench rpc-smoke [--quick]\n  tiera-bench chaos [--quick] [--seed N] [--out PATH]\n  tiera-bench check <report.json>"
+        "usage:\n  tiera-bench hotpath [--quick] [--out PATH]\n  tiera-bench metastore [--quick] [--out PATH]\n  tiera-bench rpc-smoke [--quick]\n  tiera-bench chaos [--quick] [--seed N] [--out PATH]\n  tiera-bench cluster [--quick] [--out PATH]\n  tiera-bench cluster-chaos [--quick] [--seed N] [--out PATH]\n  tiera-bench check <report.json>"
     );
     ExitCode::FAILURE
 }
@@ -44,7 +51,7 @@ fn main() -> ExitCode {
     // an existing report, so it stays usable from instrumented builds.
     let measuring = matches!(
         args.first().map(String::as_str),
-        Some("hotpath" | "metastore" | "rpc-smoke" | "chaos")
+        Some("hotpath" | "metastore" | "rpc-smoke" | "chaos" | "cluster" | "cluster-chaos")
     );
     if measuring && tiera_support::sync::LOCKCHECK {
         eprintln!(
@@ -160,6 +167,69 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("cluster") => {
+            let mut quick = false;
+            let mut out = String::from("BENCH_pr9.json");
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--quick" => quick = true,
+                    "--out" => match rest.next() {
+                        Some(path) => out = path.clone(),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            let report = cluster_bench::run(&cluster_bench::Options { quick });
+            if let Err(e) = cluster_bench::validate(&report) {
+                eprintln!("internal error: generated report fails validation: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = std::fs::write(&out, report.to_pretty()) {
+                eprintln!("write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Some("cluster-chaos") => {
+            let mut quick = false;
+            let mut seed = 1u64;
+            let mut out = String::from("BENCH_cluster_chaos.json");
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--quick" => quick = true,
+                    "--seed" => match rest.next().and_then(|s| s.parse().ok()) {
+                        Some(n) => seed = n,
+                        None => return usage(),
+                    },
+                    "--out" => match rest.next() {
+                        Some(path) => out = path.clone(),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            eprintln!(
+                "cluster-chaos: seed={seed}{} (replay with: tiera-bench cluster-chaos --seed {seed})",
+                if quick { " (quick mode)" } else { "" }
+            );
+            let report = cluster_bench::run_matrix(&cluster_bench::MatrixOptions { quick, seed });
+            if let Err(e) = std::fs::write(&out, report.to_pretty()) {
+                eprintln!("write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {out}");
+            match cluster_bench::validate_matrix(&report) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("cluster-chaos run failed invariants: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("check") => {
             let Some(path) = args.get(1) else {
                 return usage();
@@ -180,6 +250,8 @@ fn main() -> ExitCode {
             };
             let outcome = match report.get("bench").and_then(Value::as_str) {
                 Some("chaos") => chaos_report::validate(&report),
+                Some("cluster") => cluster_bench::validate(&report),
+                Some("cluster-chaos") => cluster_bench::validate_matrix(&report),
                 Some("metastore") => metastore_bench::validate(&report),
                 _ => hotpath::validate(&report),
             };

@@ -1,0 +1,418 @@
+//! Cluster-plane benchmarks: `tiera-bench cluster` (wall-clock,
+//! `BENCH_pr9.json`) and `tiera-bench cluster-chaos` (deterministic
+//! node-fault matrix report).
+//!
+//! `cluster` measures real-CPU throughput of routed operations through a
+//! [`Coordinator`] fronting three in-process nodes (R=3, W=2) against a
+//! single-node R=1/W=1 baseline over the same coordinator machinery —
+//! the ratio is the replication overhead: how much a write costs when it
+//! fans out to three owners and waits for a two-ack quorum instead of
+//! touching one instance. A mixed read/write section and a batch section
+//! round out the headline numbers.
+//!
+//! `cluster-chaos` runs the [`tiera_chaos::run_cluster_matrix`] node-
+//! fault matrix (kill, partition, rejoin-stale, kill-during-rebalance ×
+//! seeds) and emits a replayable, byte-deterministic JSON summary in the
+//! style of `chaos_report`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tiera_chaos::cluster_scenario::{run_cluster_matrix, ClusterChaosOutcome, ClusterScenarioKind};
+use tiera_cluster::{ClusterNode, Coordinator};
+use tiera_core::builder::InstanceBuilder;
+use tiera_core::tier::{MemTier, TierTraits};
+use tiera_sim::{SimEnv, SimTime};
+use tiera_support::Bytes;
+
+use crate::json::Value;
+
+/// Options for the wall-clock cluster bench.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Smaller measurement window (CI smoke).
+    pub quick: bool,
+}
+
+impl Options {
+    fn window(&self) -> Duration {
+        if self.quick {
+            Duration::from_millis(250)
+        } else {
+            Duration::from_secs(2)
+        }
+    }
+}
+
+fn mem_node(name: &str, seed: u64) -> Arc<ClusterNode> {
+    let inst = InstanceBuilder::new(name, SimEnv::new(seed))
+        .tier(MemTier::with_traits(
+            "store",
+            512 << 20,
+            TierTraits {
+                durable: true,
+                ..TierTraits::default()
+            },
+        ))
+        .build()
+        .expect("bench node builds");
+    ClusterNode::new(name, inst)
+}
+
+fn cluster(n: usize, r: usize, w: usize) -> Coordinator {
+    let coord = Coordinator::new(r, w);
+    for i in 0..n {
+        coord
+            .add_node(mem_node(&format!("node-{i}"), 4000 + i as u64))
+            .expect("distinct bench node names");
+    }
+    coord
+}
+
+/// Closed-loop ops/sec of `op` over the measurement window.
+fn ops_per_sec(window: Duration, mut op: impl FnMut(u64)) -> f64 {
+    let mut done = 0u64;
+    let start = Instant::now();
+    loop {
+        op(done);
+        done += 1;
+        if done % 64 == 0 && start.elapsed() >= window {
+            break;
+        }
+    }
+    done as f64 / start.elapsed().as_secs_f64()
+}
+
+fn routed_section(coord: &Coordinator, window: Duration, value_size: usize) -> (f64, f64, f64) {
+    let t = SimTime::ZERO;
+    let payload = vec![0xabu8; value_size];
+    // Pre-populate the whole keyspace so the read sections never miss,
+    // regardless of how many puts the measurement window fits.
+    for i in 0..4096u64 {
+        coord
+            .put(&format!("bench-{i}"), Bytes::from(payload.clone()), t)
+            .expect("no faults in a bench run");
+    }
+    let put = ops_per_sec(window, |i| {
+        let key = format!("bench-{}", i % 4096);
+        coord
+            .put(&key, Bytes::from(payload.clone()), t)
+            .expect("no faults in a bench run");
+    });
+    let get = ops_per_sec(window, |i| {
+        let key = format!("bench-{}", i % 4096);
+        coord.get(&key, t).expect("benched keys were all written");
+    });
+    let mixed = ops_per_sec(window, |i| {
+        let key = format!("bench-{}", i % 4096);
+        if i % 4 == 0 {
+            coord
+                .put(&key, Bytes::from(payload.clone()), t)
+                .expect("no faults in a bench run");
+        } else {
+            coord.get(&key, t).expect("benched keys were all written");
+        }
+    });
+    (put, get, mixed)
+}
+
+/// Runs the wall-clock cluster bench and builds the `BENCH_pr9.json`
+/// report.
+pub fn run(opts: &Options) -> Value {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "cluster: wall-clock benchmark on {cores} core(s){}",
+        if opts.quick { " (quick mode)" } else { "" }
+    );
+    let window = opts.window();
+    let value_size = 1024usize;
+
+    // Baseline: the same coordinator machinery, one node, R=1/W=1 — so
+    // the ratio isolates replication fan-out, not coordinator overhead.
+    let baseline = cluster(1, 1, 1);
+    let (base_put, base_get, base_mixed) = routed_section(&baseline, window, value_size);
+    eprintln!("  1-node R=1/W=1: put={base_put:.0}/s get={base_get:.0}/s mixed={base_mixed:.0}/s");
+
+    let replicated = cluster(3, 3, 2);
+    let (rep_put, rep_get, rep_mixed) = routed_section(&replicated, window, value_size);
+    eprintln!("  3-node R=3/W=2: put={rep_put:.0}/s get={rep_get:.0}/s mixed={rep_mixed:.0}/s");
+
+    // Batch shape: Multi* fan-out through the same ring.
+    let t = SimTime::ZERO;
+    let payload = vec![0xcdu8; value_size];
+    let batch = ops_per_sec(window, |i| {
+        let keys: Vec<String> = (0..8).map(|j| format!("bench-{}", (i * 8 + j) % 4096)).collect();
+        let items: Vec<(&str, Bytes)> = keys
+            .iter()
+            .map(|k| (k.as_str(), Bytes::from(payload.clone())))
+            .collect();
+        for outcome in replicated.multi_put(&items, t) {
+            outcome.expect("no faults in a bench run");
+        }
+    }) * 8.0;
+    eprintln!("  3-node multi_put: {batch:.0} items/s");
+
+    let put_overhead = base_put / rep_put.max(1e-9);
+    eprintln!("  replication overhead: put {put_overhead:.2}x");
+
+    Value::obj([
+        ("bench", Value::Str("cluster".into())),
+        ("pr", Value::Num(9.0)),
+        ("quick", Value::Bool(opts.quick)),
+        ("value_size", Value::Num(value_size as f64)),
+        (
+            "single_node",
+            Value::obj([
+                ("nodes", Value::Num(1.0)),
+                ("replicas", Value::Num(1.0)),
+                ("write_quorum", Value::Num(1.0)),
+                ("put_ops_per_sec", Value::Num(base_put)),
+                ("get_ops_per_sec", Value::Num(base_get)),
+                ("mixed_ops_per_sec", Value::Num(base_mixed)),
+            ]),
+        ),
+        (
+            "three_node",
+            Value::obj([
+                ("nodes", Value::Num(3.0)),
+                ("replicas", Value::Num(3.0)),
+                ("write_quorum", Value::Num(2.0)),
+                ("put_ops_per_sec", Value::Num(rep_put)),
+                ("get_ops_per_sec", Value::Num(rep_get)),
+                ("mixed_ops_per_sec", Value::Num(rep_mixed)),
+                ("multi_put_items_per_sec", Value::Num(batch)),
+            ]),
+        ),
+        (
+            "replication_overhead",
+            Value::obj([
+                ("put_slowdown_vs_single", Value::Num(put_overhead)),
+                ("get_slowdown_vs_single", Value::Num(base_get / rep_get.max(1e-9))),
+            ]),
+        ),
+        (
+            "meta",
+            Value::obj([("cores", Value::Num(cores as f64))]),
+        ),
+    ])
+}
+
+fn positive(report: &Value, path: &[&str]) -> Result<f64, String> {
+    let mut v = report;
+    for key in path {
+        v = v
+            .get(key)
+            .ok_or_else(|| format!("missing `{}`", path.join(".")))?;
+    }
+    v.as_num()
+        .filter(|n| n.is_finite() && *n > 0.0)
+        .ok_or_else(|| format!("`{}` must be a positive number", path.join(".")))
+}
+
+/// Validates the `BENCH_pr9.json` schema.
+pub fn validate(report: &Value) -> Result<(), String> {
+    if report.get("bench").and_then(Value::as_str) != Some("cluster") {
+        return Err("`bench` must be \"cluster\"".into());
+    }
+    if report.get("pr").and_then(Value::as_num) != Some(9.0) {
+        return Err("`pr` must be 9".into());
+    }
+    if !matches!(report.get("quick"), Some(Value::Bool(_))) {
+        return Err("`quick` must be a boolean".into());
+    }
+    for section in ["single_node", "three_node"] {
+        for field in ["put_ops_per_sec", "get_ops_per_sec", "mixed_ops_per_sec"] {
+            positive(report, &[section, field])?;
+        }
+    }
+    positive(report, &["three_node", "multi_put_items_per_sec"])?;
+    positive(report, &["replication_overhead", "put_slowdown_vs_single"])?;
+    positive(report, &["meta", "cores"])?;
+    let r = positive(report, &["three_node", "replicas"])?;
+    let w = positive(report, &["three_node", "write_quorum"])?;
+    if !(w <= r) {
+        return Err("three_node write_quorum must not exceed replicas".into());
+    }
+    Ok(())
+}
+
+// ---- the deterministic node-fault matrix report ----
+
+/// Options for the cluster-chaos matrix report.
+#[derive(Debug, Clone)]
+pub struct MatrixOptions {
+    /// Smaller workload (CI smoke).
+    pub quick: bool,
+    /// Base seed; the matrix runs `seed` and `seed + 1` per scenario.
+    pub seed: u64,
+}
+
+fn outcome_json(outcome: &ClusterChaosOutcome) -> Value {
+    let rebalance = match &outcome.rebalance {
+        Some(r) => Value::obj([
+            ("planned", Value::Num(r.planned as f64)),
+            ("moved_keys", Value::Num(r.moved_keys as f64)),
+            ("moved_bytes", Value::Num(r.moved_bytes as f64)),
+            ("deferred", Value::Num(r.deferred as f64)),
+        ]),
+        None => Value::Null,
+    };
+    Value::obj([
+        ("kind", Value::Str(outcome.kind.name().into())),
+        ("seed", Value::Num(outcome.seed as f64)),
+        ("writes_issued", Value::Num(outcome.writes.0 as f64)),
+        ("writes_acked", Value::Num(outcome.writes.1 as f64)),
+        ("writes_failed", Value::Num(outcome.writes.2 as f64)),
+        ("reads_ok", Value::Num(outcome.reads.0 as f64)),
+        ("reads_failed", Value::Num(outcome.reads.1 as f64)),
+        ("deletes_acked", Value::Num(outcome.deletes.0 as f64)),
+        ("deletes_failed", Value::Num(outcome.deletes.1 as f64)),
+        ("rebalance", rebalance),
+        ("survivability_ok", Value::Bool(outcome.survivability_ok)),
+        ("recovered", Value::Bool(outcome.recovered)),
+        (
+            "violations",
+            Value::Arr(
+                outcome
+                    .invariants
+                    .violations
+                    .iter()
+                    .map(|v| Value::Str(v.clone()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Runs the node-fault matrix (4 scenarios × 2 seeds) and builds the
+/// report. Prints each cell's outcome line to stderr as it completes.
+pub fn run_matrix(opts: &MatrixOptions) -> Value {
+    let seeds = [opts.seed, opts.seed.wrapping_add(1)];
+    let outcomes = run_cluster_matrix(&seeds, opts.quick);
+    let mut all_ok = true;
+    let mut cells = Vec::new();
+    for outcome in &outcomes {
+        eprintln!(
+            "  cluster-chaos {} seed={}: {} (acked={} survivability={})",
+            outcome.kind.name(),
+            outcome.seed,
+            if outcome.ok() { "ok" } else { "FAILED" },
+            outcome.writes.1,
+            outcome.survivability_ok,
+        );
+        if !outcome.ok() {
+            all_ok = false;
+            eprintln!("{}", outcome.report());
+        }
+        cells.push(outcome_json(outcome));
+    }
+    Value::obj([
+        ("bench", Value::Str("cluster-chaos".into())),
+        ("seed", Value::Num(opts.seed as f64)),
+        ("quick", Value::Bool(opts.quick)),
+        ("ok", Value::Bool(all_ok)),
+        ("scenarios", Value::Arr(cells)),
+    ])
+}
+
+/// Validates the cluster-chaos matrix report: structural schema plus the
+/// CI gates — every cell recovered, survived R−1 kills, and reported
+/// zero invariant violations.
+pub fn validate_matrix(report: &Value) -> Result<(), String> {
+    if report.get("bench").and_then(Value::as_str) != Some("cluster-chaos") {
+        return Err("`bench` must be \"cluster-chaos\"".into());
+    }
+    report
+        .get("seed")
+        .and_then(Value::as_num)
+        .filter(|n| n.is_finite() && *n >= 0.0)
+        .ok_or("`seed` must be a non-negative number")?;
+    let scenarios = report
+        .get("scenarios")
+        .and_then(Value::as_arr)
+        .ok_or("missing `scenarios` array")?;
+    let expected = ClusterScenarioKind::all().len() * 2;
+    if scenarios.len() != expected {
+        return Err(format!("`scenarios` must have {expected} entries"));
+    }
+    for entry in scenarios {
+        let kind = entry
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("scenario entry missing `kind`")?;
+        if entry.get("recovered") != Some(&Value::Bool(true)) {
+            return Err(format!("scenario {kind} did not recover"));
+        }
+        if entry.get("survivability_ok") != Some(&Value::Bool(true)) {
+            return Err(format!(
+                "scenario {kind}: an acked write did not survive R-1 kills"
+            ));
+        }
+        let violations = entry
+            .get("violations")
+            .and_then(Value::as_arr)
+            .ok_or("scenario missing `violations` array")?;
+        if !violations.is_empty() {
+            return Err(format!(
+                "scenario {kind} has {} invariant violation(s); replay with --seed {}",
+                violations.len(),
+                entry.get("seed").and_then(Value::as_num).unwrap_or(f64::NAN),
+            ));
+        }
+    }
+    if report.get("ok") != Some(&Value::Bool(true)) {
+        return Err("`ok` must be true".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_cluster_report_validates() {
+        let report = run(&Options { quick: true });
+        validate(&report).expect("generated report validates");
+    }
+
+    #[test]
+    fn quick_matrix_report_validates_and_replays_identically() {
+        let opts = MatrixOptions {
+            quick: true,
+            seed: 3,
+        };
+        let a = run_matrix(&opts);
+        validate_matrix(&a).expect("generated matrix validates");
+        let b = run_matrix(&opts);
+        assert_eq!(
+            a.to_pretty(),
+            b.to_pretty(),
+            "matrix report must be a pure function of the seed"
+        );
+    }
+
+    #[test]
+    fn validators_reject_wrong_bench_kind() {
+        let wrong = Value::obj([("bench", Value::Str("hotpath".into()))]);
+        assert!(validate(&wrong).is_err());
+        assert!(validate_matrix(&wrong).is_err());
+    }
+
+    #[test]
+    fn matrix_validator_rejects_survivability_failures() {
+        let opts = MatrixOptions {
+            quick: true,
+            seed: 4,
+        };
+        let report = run_matrix(&opts);
+        let text = report
+            .to_pretty()
+            .replace("\"survivability_ok\": true", "\"survivability_ok\": false");
+        let tampered = Value::parse(&text).unwrap();
+        let err = validate_matrix(&tampered).unwrap_err();
+        assert!(err.contains("survive"), "{err}");
+    }
+}

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chaos_report;
+pub mod cluster_bench;
 pub mod deployments;
 pub mod experiments;
 pub mod hotpath;

@@ -44,6 +44,11 @@ pub struct WriteLedger {
     /// Brand-new PUTs that failed and were never subsequently acked: these
     /// keys must not exist (no phantom metadata).
     failed_new: BTreeSet<String>,
+    /// Keys whose DELETE was acknowledged (and that were not re-written
+    /// afterwards): these keys must not be readable — a copy surviving on
+    /// some stale replica must never surface (no phantom keys after
+    /// rejoin).
+    deleted: BTreeSet<String>,
 }
 
 impl WriteLedger {
@@ -55,10 +60,19 @@ impl WriteLedger {
     /// Records a PUT the instance acknowledged.
     pub fn record_ack(&mut self, key: &str, value: &[u8]) {
         self.failed_new.remove(key);
+        self.deleted.remove(key);
         let mut acceptable = BTreeSet::new();
         acceptable.insert(checksum(value));
         self.acked
             .insert(key.to_string(), Expectation { acceptable });
+    }
+
+    /// Records a DELETE the store acknowledged: the key must not be
+    /// readable afterwards (until a later acked PUT resurrects it).
+    pub fn record_delete(&mut self, key: &str) {
+        self.acked.remove(key);
+        self.failed_new.remove(key);
+        self.deleted.insert(key.to_string());
     }
 
     /// Records a PUT the instance failed. If the key was already acked the
@@ -92,6 +106,61 @@ impl WriteLedger {
         self.failed_new.len()
     }
 
+    /// Number of keys whose latest acknowledged op was a DELETE.
+    pub fn deleted_keys(&self) -> usize {
+        self.deleted.len()
+    }
+
+    /// The deleted keys, sorted (for per-replica phantom sweeps).
+    pub fn deleted_snapshot(&self) -> Vec<String> {
+        self.deleted.iter().cloned().collect()
+    }
+
+    /// Checks the ledger against a *replicated* store through a read
+    /// closure (`Ok(bytes)` on success, `Err(description)` otherwise —
+    /// a "no such object" error counts as not-found).
+    ///
+    /// This is the replication-aware half of the contract, phrased at
+    /// the level a cluster client observes:
+    ///
+    /// 1. **Every W-acked write survives** — each acked key reads back
+    ///    one of its acknowledged values.
+    /// 2. **No phantom keys** — failed brand-new PUTs and acked DELETEs
+    ///    are unreadable, even if stale replicas still hold copies.
+    pub fn check_cluster(
+        &self,
+        mut read: impl FnMut(&str) -> Result<Vec<u8>, String>,
+    ) -> InvariantReport {
+        let mut violations = Vec::new();
+        for (key, expect) in &self.acked {
+            match read(key) {
+                Ok(data) => {
+                    let got = checksum(&data);
+                    if !expect.acceptable.contains(&got) {
+                        violations.push(format!(
+                            "acked write corrupted: key={key} checksum={got:#x} not among {} acknowledged value(s)",
+                            expect.acceptable.len()
+                        ));
+                    }
+                }
+                Err(e) => violations.push(format!("acked write lost: key={key}: {e}")),
+            }
+        }
+        for key in &self.failed_new {
+            if read(key).is_ok() {
+                violations.push(format!("phantom key: failed new PUT key={key} is readable"));
+            }
+        }
+        for key in &self.deleted {
+            if read(key).is_ok() {
+                violations.push(format!(
+                    "phantom key: deleted key={key} is readable again"
+                ));
+            }
+        }
+        InvariantReport { violations }
+    }
+
     /// Checks every ledger-backed invariant plus the registry's own
     /// consistency at virtual time `now`.
     ///
@@ -120,10 +189,16 @@ impl WriteLedger {
             }
         }
 
-        // 2. No phantom metadata for failed brand-new PUTs.
+        // 2. No phantom metadata for failed brand-new PUTs or acked
+        //    DELETEs.
         for key in &self.failed_new {
             if instance.registry().contains(&ObjectKey::new(key.as_str())) {
                 violations.push(format!("phantom metadata: failed new PUT key={key} exists"));
+            }
+        }
+        for key in &self.deleted {
+            if instance.registry().contains(&ObjectKey::new(key.as_str())) {
+                violations.push(format!("phantom metadata: deleted key={key} exists"));
             }
         }
 
@@ -295,6 +370,58 @@ mod tests {
         ledger.record_ack("k", b"v2");
         assert_eq!(ledger.failed_new_keys(), 0);
         assert!(ledger.check(&inst, SimTime::from_secs(1), false).ok());
+    }
+
+    #[test]
+    fn deleted_keys_must_stay_unreadable() {
+        let inst = instance();
+        let mut ledger = WriteLedger::new();
+        inst.put("k", &b"v"[..], SimTime::ZERO).unwrap();
+        ledger.record_ack("k", b"v");
+        inst.delete("k", SimTime::from_secs(1)).unwrap();
+        ledger.record_delete("k");
+        assert_eq!(ledger.deleted_keys(), 1);
+        assert_eq!(ledger.acked_keys(), 0);
+        assert!(ledger.check(&inst, SimTime::from_secs(2), false).ok());
+        // Resurrect behind the ledger's back: phantom.
+        inst.put("k", &b"v"[..], SimTime::from_secs(3)).unwrap();
+        let report = ledger.check(&inst, SimTime::from_secs(4), false);
+        assert!(
+            report.violations.iter().any(|v| v.contains("deleted key=k")),
+            "{report:?}"
+        );
+        // A later acked PUT legitimately resurrects the key.
+        ledger.record_ack("k", b"v");
+        assert_eq!(ledger.deleted_keys(), 0);
+        assert!(ledger.check(&inst, SimTime::from_secs(5), false).ok());
+    }
+
+    #[test]
+    fn check_cluster_reports_lost_corrupt_and_phantom() {
+        let mut ledger = WriteLedger::new();
+        ledger.record_ack("good", b"fresh");
+        ledger.record_ack("corrupt", b"fresh");
+        ledger.record_ack("lost", b"fresh");
+        ledger.record_failure("never", b"x");
+        ledger.record_delete("gone");
+        let report = ledger.check_cluster(|key| match key {
+            "good" => Ok(b"fresh".to_vec()),
+            "corrupt" => Ok(b"torn!".to_vec()),
+            "never" => Ok(b"boo".to_vec()),
+            "gone" => Ok(b"zombie".to_vec()),
+            _ => Err(format!("no such object: {key}")),
+        });
+        assert_eq!(report.violations.len(), 4, "{report:?}");
+        assert!(report.violations.iter().any(|v| v.contains("corrupted: key=corrupt")));
+        assert!(report.violations.iter().any(|v| v.contains("lost: key=lost")));
+        assert!(report.violations.iter().any(|v| v.contains("failed new PUT key=never")));
+        assert!(report.violations.iter().any(|v| v.contains("deleted key=gone")));
+        // The all-clean world passes.
+        let clean = ledger.check_cluster(|key| match key {
+            "good" | "corrupt" | "lost" => Ok(b"fresh".to_vec()),
+            _ => Err("no such object".into()),
+        });
+        assert!(clean.ok(), "{clean:?}");
     }
 
     #[test]

@@ -17,6 +17,14 @@
 //! 5. **Steady state returns** — after the schedule ends, fresh operations
 //!    succeed at normal latency.
 //!
+//! The same machinery generalizes from tier faults to **node faults**:
+//! [`node_schedule`] generates seeded kill / partition / slow-node /
+//! rejoin-with-stale-state schedules, and [`cluster_scenario`] drives a
+//! replicated `tiera-cluster` deployment through them with the ledger
+//! invariants extended to the replication contract — every W-acked
+//! write survives any R−1 node kills, no phantom keys reappear after a
+//! stale rejoin, and rebalance migration volume never exceeds the plan.
+//!
 //! Everything is deterministic in virtual time: a scenario is a pure
 //! function of its seed, every failure report prints that seed, and
 //! re-running with `--seed N` (or [`scenario::run`] with the same config)
@@ -25,12 +33,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster_scenario;
 pub mod invariants;
 pub mod metastore_crash;
+pub mod node_schedule;
 pub mod scenario;
 pub mod schedule;
 
+pub use cluster_scenario::{
+    run_cluster, run_cluster_matrix, ClusterChaosConfig, ClusterChaosOutcome, ClusterScenarioKind,
+};
 pub use invariants::{InvariantReport, WriteLedger};
 pub use metastore_crash::{run_crash_case, run_crash_matrix, CrashCaseReport};
+pub use node_schedule::{NodeFaultAction, NodeFaultDriver, NodeFaultEvent, NodeFaultSchedule};
 pub use scenario::{ChaosConfig, ChaosOutcome, ScenarioKind};
 pub use schedule::{FaultEvent, FaultSchedule};

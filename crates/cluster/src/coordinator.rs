@@ -1,0 +1,1112 @@
+//! The coordinator: routing, quorum replication, read repair, and the
+//! rebalance engine.
+//!
+//! One coordinator fronts N [`ClusterNode`]s. Every key has R owners on
+//! the [`Ring`] (primary + R−1 successors):
+//!
+//! * **PUT** writes to all R owners and acknowledges once W confirm
+//!   (`W ≤ R`). The coordinator then records the write's version and
+//!   content checksum in its authoritative per-key metadata.
+//! * **GET** consults the metadata first — an absent or tombstoned key
+//!   answers `no such object` without touching any node, which is what
+//!   makes phantom reads from stale replicas impossible — then returns
+//!   the first replica whose checksum matches, read-repairing any
+//!   divergent or missing replica it passed over.
+//! * **DELETE** carries an idempotency token (see [`ClusterNode`]) and
+//!   tombstones the metadata after W owners acknowledge. The
+//!   coordinator replays the recorded outcome when the same token is
+//!   delivered again (a client redial racing a failover), so the
+//!   non-idempotent storage op applies exactly once.
+//!
+//! **Rebalance.** A join or leave diffs the old ring against the new one
+//! ([`Ring::plan_rebalance`]) into the minimal key-move plan, then
+//! [`Coordinator::rebalance_step`] executes it one key at a time under a
+//! per-step byte budget — bandwidth-capped, resumable, and safe to run
+//! concurrently with live traffic (reads fall back to the old owners
+//! until the run completes; writes and deletes cover both owner sets).
+//! A source that dies mid-run defers its moves to the rejoin
+//! anti-entropy sweep instead of failing the run.
+//!
+//! **Locks.** `cluster.ring` (membership + rebalance run) and
+//! `cluster.meta` (per-key metadata + applied-delete cache) are ranked
+//! ring → meta → node and never held across node IO: owner sets are
+//! snapshotted out of the ring lock, and metadata is read before / written
+//! after the replica round trips.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tiera_sim::{SimDuration, SimTime};
+use tiera_support::collections::FxHashMap;
+use tiera_support::sync::{rank, Mutex, RwLock};
+use tiera_support::Bytes;
+
+use crate::node::{ClusterNode, NodeError};
+use crate::ring::{KeyMove, Ring, DEFAULT_VNODES};
+use crate::wire::MembershipMsg;
+
+/// FNV-1a checksum of replica content — the divergence detector used by
+/// read repair and anti-entropy (same construction as the chaos
+/// harness's ledger checksum).
+pub fn content_checksum(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Why a cluster operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The ring has no members.
+    NoMembers,
+    /// `add_node` for a name already on the ring.
+    DuplicateNode(String),
+    /// An operation named a node the coordinator does not know.
+    UnknownNode(String),
+    /// The key does not exist (never written, or tombstoned).
+    NoSuchObject(String),
+    /// Fewer than W owners acknowledged a write or delete. The op may
+    /// have landed on some replicas; a retry with the same token is safe.
+    NoQuorum {
+        /// The key.
+        key: String,
+        /// Owners that acknowledged.
+        acked: usize,
+        /// The write quorum W.
+        needed: usize,
+    },
+    /// No reachable replica held bytes matching the authoritative
+    /// checksum (all fresh copies are on unreachable nodes).
+    NoFreshReplica {
+        /// The key.
+        key: String,
+        /// Owners that were reachable but stale or missing.
+        stale: usize,
+        /// Owners that were unreachable.
+        unreachable: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NoMembers => write!(f, "cluster has no members"),
+            ClusterError::DuplicateNode(n) => write!(f, "node {n} already on the ring"),
+            ClusterError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            ClusterError::NoSuchObject(k) => write!(f, "no such object: {k}"),
+            ClusterError::NoQuorum { key, acked, needed } => {
+                write!(f, "no write quorum for {key}: {acked} of {needed} acks")
+            }
+            ClusterError::NoFreshReplica {
+                key,
+                stale,
+                unreachable,
+            } => write!(
+                f,
+                "no fresh replica of {key} reachable ({stale} stale/missing, {unreachable} unreachable)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Authoritative per-key record: the newest acknowledged write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct KeyMeta {
+    version: u64,
+    checksum: u64,
+    deleted: bool,
+}
+
+/// Coordinator-level replay record for a delete token.
+#[derive(Debug, Clone, Copy)]
+struct CachedDelete {
+    found: bool,
+    latency: SimDuration,
+}
+
+struct MetaState {
+    keys: BTreeMap<String, KeyMeta>,
+    applied_deletes: FxHashMap<u64, CachedDelete>,
+}
+
+/// An in-flight migration run.
+struct RebalanceRun {
+    old_ring: Ring,
+    moves: Vec<KeyMove>,
+    cursor: usize,
+    completed: usize,
+    moved_keys: u64,
+    moved_bytes: u64,
+    deferred: u64,
+}
+
+struct Membership {
+    ring: Ring,
+    nodes: Vec<Arc<ClusterNode>>,
+    epoch: u64,
+    log: Vec<MembershipMsg>,
+    rebalance: Option<RebalanceRun>,
+    last_report: Option<RebalanceReport>,
+}
+
+/// Summary of a completed (or in-flight) rebalance run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Key moves the plan contained.
+    pub planned: usize,
+    /// Keys whose bytes were actually copied.
+    pub moved_keys: u64,
+    /// Bytes copied.
+    pub moved_bytes: u64,
+    /// Moves deferred to anti-entropy (no reachable fresh source, or the
+    /// target was unreachable).
+    pub deferred: u64,
+}
+
+/// Outcome of one bandwidth-capped [`Coordinator::rebalance_step`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RebalanceStep {
+    /// Keys copied this step.
+    pub moved_keys: u64,
+    /// Bytes copied this step.
+    pub moved_bytes: u64,
+    /// Moves deferred this step.
+    pub deferred: u64,
+    /// Moves still unclaimed after this step.
+    pub remaining: usize,
+    /// Whether the run is fully finished.
+    pub done: bool,
+}
+
+/// Result of a rejoin anti-entropy sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RejoinReport {
+    /// Keys owned by the rejoining node that were checked.
+    pub checked: u64,
+    /// Stale or missing copies repaired from a fresh replica.
+    pub repaired: u64,
+    /// Tombstoned keys purged from the rejoining node.
+    pub purged: u64,
+}
+
+/// Routes, replicates, and rebalances over a set of [`ClusterNode`]s.
+pub struct Coordinator {
+    replicas: usize,
+    write_quorum: usize,
+    membership: RwLock<Membership>,
+    meta: Mutex<MetaState>,
+    versions: AtomicU64,
+    tokens: AtomicU64,
+}
+
+impl fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("replicas", &self.replicas)
+            .field("write_quorum", &self.write_quorum)
+            .finish()
+    }
+}
+
+impl Coordinator {
+    /// A coordinator replicating to `replicas` owners and acknowledging
+    /// after `write_quorum` of them confirm. Requires
+    /// `1 ≤ write_quorum ≤ replicas`.
+    pub fn new(replicas: usize, write_quorum: usize) -> Self {
+        assert!(
+            (1..=replicas).contains(&write_quorum),
+            "write quorum must satisfy 1 <= W <= R"
+        );
+        Self {
+            replicas,
+            write_quorum,
+            membership: RwLock::named(
+                "cluster.ring",
+                rank::CLUSTER_RING,
+                Membership {
+                    ring: Ring::new(DEFAULT_VNODES),
+                    nodes: Vec::new(),
+                    epoch: 0,
+                    log: Vec::new(),
+                    rebalance: None,
+                    last_report: None,
+                },
+            ),
+            meta: Mutex::named(
+                "cluster.meta",
+                rank::CLUSTER_META,
+                MetaState {
+                    keys: BTreeMap::new(),
+                    applied_deletes: FxHashMap::default(),
+                },
+            ),
+            versions: AtomicU64::new(0),
+            tokens: AtomicU64::new(0),
+        }
+    }
+
+    /// The replica count R.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The write quorum W.
+    pub fn write_quorum(&self) -> usize {
+        self.write_quorum
+    }
+
+    /// A fresh idempotency token for a client-originated mutation.
+    pub fn next_token(&self) -> u64 {
+        self.tokens.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Current membership epoch.
+    pub fn epoch(&self) -> u64 {
+        self.membership.read().epoch
+    }
+
+    /// Member names currently on the ring, sorted.
+    pub fn node_names(&self) -> Vec<String> {
+        self.membership.read().ring.nodes().to_vec()
+    }
+
+    /// The membership log: every join/leave/rejoin as a wire message, in
+    /// order (what a peer coordinator would replay to converge).
+    pub fn membership_log(&self) -> Vec<MembershipMsg> {
+        self.membership.read().log.clone()
+    }
+
+    /// The ring owners of `key`, primary first.
+    pub fn owner_names(&self, key: &str) -> Vec<String> {
+        self.membership.read().ring.owners(key, self.replicas)
+    }
+
+    /// Whether `key` currently exists (written, not tombstoned).
+    pub fn contains(&self, key: &str) -> bool {
+        self.meta
+            .lock()
+            .keys
+            .get(key)
+            .is_some_and(|m| !m.deleted)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.meta.lock().keys.values().filter(|m| !m.deleted).count()
+    }
+
+    /// Whether no live keys exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Live keys, sorted (deterministic iteration for planning/audits).
+    pub fn live_keys(&self) -> Vec<String> {
+        self.meta
+            .lock()
+            .keys
+            .iter()
+            .filter(|(_, m)| !m.deleted)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    // ---- membership ----
+
+    /// Adds a node to the ring and plans the migration of every key
+    /// whose owner set changed. Returns the number of planned moves;
+    /// drive them with [`Coordinator::rebalance_step`] (or
+    /// [`Coordinator::rebalance_all`]).
+    pub fn add_node(&self, node: Arc<ClusterNode>) -> Result<usize, ClusterError> {
+        let name = node.name().to_string();
+        let keys = self.live_keys();
+        let mut mem = self.membership.write();
+        if mem.ring.contains(&name) {
+            return Err(ClusterError::DuplicateNode(name));
+        }
+        let old_ring = mem.ring.clone();
+        mem.ring.join(&name);
+        if !mem.nodes.iter().any(|n| n.name() == name) {
+            mem.nodes.push(node);
+            mem.nodes.sort_by(|a, b| a.name().cmp(b.name()));
+        }
+        mem.epoch += 1;
+        let epoch = mem.epoch;
+        mem.log.push(MembershipMsg::Join { node: name, epoch });
+        Ok(self.install_plan(&mut mem, &old_ring, &keys))
+    }
+
+    /// Removes a node from the ring (its handle stays known as a
+    /// migration source) and plans the hand-off of everything it owned.
+    pub fn remove_node(&self, name: &str) -> Result<usize, ClusterError> {
+        let keys = self.live_keys();
+        let mut mem = self.membership.write();
+        if !mem.ring.contains(name) {
+            return Err(ClusterError::UnknownNode(name.to_string()));
+        }
+        let old_ring = mem.ring.clone();
+        mem.ring.leave(name);
+        mem.epoch += 1;
+        let epoch = mem.epoch;
+        mem.log.push(MembershipMsg::Leave {
+            node: name.to_string(),
+            epoch,
+        });
+        Ok(self.install_plan(&mut mem, &old_ring, &keys))
+    }
+
+    /// Diffs `old_ring` against the (already updated) membership and
+    /// installs the resulting run. A run already in flight is extended
+    /// by re-planning from the union ring — the old ring of record stays
+    /// the *oldest* one, so reads keep falling back far enough.
+    fn install_plan(&self, mem: &mut Membership, old_ring: &Ring, keys: &[String]) -> usize {
+        let base = match &mem.rebalance {
+            Some(run) => run.old_ring.clone(),
+            None => old_ring.clone(),
+        };
+        let plan = base.plan_rebalance(&mem.ring, keys.iter().map(String::as_str), self.replicas);
+        let planned = plan.moves.len();
+        if planned == 0 {
+            // Nothing to move; finish any stale in-flight bookkeeping.
+            if mem.rebalance.is_none() {
+                mem.last_report = Some(RebalanceReport::default());
+            }
+            return 0;
+        }
+        mem.rebalance = Some(RebalanceRun {
+            old_ring: base,
+            moves: plan.moves,
+            cursor: 0,
+            completed: 0,
+            moved_keys: 0,
+            moved_bytes: 0,
+            deferred: 0,
+        });
+        planned
+    }
+
+    /// Whether no migration run is in flight.
+    pub fn rebalance_done(&self) -> bool {
+        self.membership.read().rebalance.is_none()
+    }
+
+    /// The summary of the most recently completed run.
+    pub fn last_rebalance(&self) -> Option<RebalanceReport> {
+        self.membership.read().last_report
+    }
+
+    /// Executes migration moves until `byte_budget` bytes have been
+    /// copied (at least one move makes progress per call), then returns.
+    /// Safe to call from several threads and while traffic is flowing.
+    pub fn rebalance_step(&self, now: SimTime, byte_budget: u64) -> RebalanceStep {
+        let mut step = RebalanceStep::default();
+        loop {
+            let Some((mv, handles)) = self.claim_move(&mut step) else {
+                return step;
+            };
+            let (bytes, deferred) = self.execute_move(&mv, &handles, now);
+            step.moved_bytes += bytes;
+            if deferred {
+                step.deferred += 1;
+            } else if bytes > 0 {
+                step.moved_keys += 1;
+            }
+            self.retire_move(&mut step, bytes, deferred);
+            if step.done || step.moved_bytes >= byte_budget {
+                return step;
+            }
+        }
+    }
+
+    /// Drives the in-flight run to completion in budget-sized steps;
+    /// returns the completed run's report.
+    pub fn rebalance_all(&self, now: SimTime, byte_budget: u64) -> RebalanceReport {
+        loop {
+            let step = self.rebalance_step(now, byte_budget.max(1));
+            if step.done {
+                return self.last_rebalance().unwrap_or_default();
+            }
+        }
+    }
+
+    fn claim_move(&self, step: &mut RebalanceStep) -> Option<(KeyMove, Vec<Arc<ClusterNode>>)> {
+        let mut mem = self.membership.write();
+        let Some(run) = mem.rebalance.as_mut() else {
+            step.done = true;
+            step.remaining = 0;
+            return None;
+        };
+        if run.cursor >= run.moves.len() {
+            // Every move is claimed; another thread is finishing the rest.
+            step.remaining = 0;
+            return None;
+        }
+        let mv = run.moves[run.cursor].clone();
+        run.cursor += 1;
+        step.remaining = run.moves.len() - run.cursor;
+        let handles = mem.nodes.clone();
+        Some((mv, handles))
+    }
+
+    fn retire_move(&self, step: &mut RebalanceStep, bytes: u64, deferred: bool) {
+        let mut mem = self.membership.write();
+        let Some(run) = mem.rebalance.as_mut() else {
+            step.done = true;
+            return;
+        };
+        run.completed += 1;
+        run.moved_bytes += bytes;
+        if deferred {
+            run.deferred += 1;
+        } else if bytes > 0 {
+            run.moved_keys += 1;
+        }
+        if run.completed == run.moves.len() {
+            let report = RebalanceReport {
+                planned: run.moves.len(),
+                moved_keys: run.moved_keys,
+                moved_bytes: run.moved_bytes,
+                deferred: run.deferred,
+            };
+            mem.rebalance = None;
+            mem.last_report = Some(report);
+            step.done = true;
+            step.remaining = 0;
+        }
+    }
+
+    /// Copies one key to the owners that gained it. Returns
+    /// `(bytes copied, deferred)`.
+    fn execute_move(
+        &self,
+        mv: &KeyMove,
+        handles: &[Arc<ClusterNode>],
+        now: SimTime,
+    ) -> (u64, bool) {
+        if mv.targets.is_empty() {
+            return (0, false);
+        }
+        let expected = {
+            let meta = self.meta.lock();
+            match meta.keys.get(&mv.key) {
+                // Deleted or vanished since planning: nothing to copy.
+                None => return (0, false),
+                Some(m) if m.deleted => return (0, false),
+                Some(m) => m.checksum,
+            }
+        };
+        // Freshest source: an old owner, or a target that a concurrent
+        // write already reached.
+        let mut fresh: Option<Bytes> = None;
+        for name in mv.sources.iter().chain(mv.targets.iter()) {
+            if let Some(node) = find(handles, name) {
+                if let Ok((data, _)) = node.apply_get(&mv.key, now) {
+                    if content_checksum(&data) == expected {
+                        fresh = Some(data);
+                        break;
+                    }
+                }
+            }
+        }
+        let Some(data) = fresh else {
+            // Every fresh copy is unreachable right now; the rejoin
+            // anti-entropy sweep repairs this key later.
+            return (0, true);
+        };
+        let mut bytes = 0u64;
+        let mut deferred = false;
+        for name in &mv.targets {
+            let Some(node) = find(handles, name) else {
+                deferred = true;
+                continue;
+            };
+            // Skip targets that already hold the fresh bytes.
+            if let Ok((have, _)) = node.apply_get(&mv.key, now) {
+                if content_checksum(&have) == expected {
+                    continue;
+                }
+            }
+            match node.apply_put(&mv.key, data.clone(), now) {
+                Ok(_) => bytes += data.len() as u64,
+                Err(_) => deferred = true,
+            }
+        }
+        (bytes, deferred)
+    }
+
+    // ---- routed operations ----
+
+    /// Replicated store: writes to all R owners, acks after W confirm.
+    pub fn put(&self, key: &str, value: Bytes, now: SimTime) -> Result<SimDuration, ClusterError> {
+        let (owners, _) = self.route(key)?;
+        let version = self.versions.fetch_add(1, Ordering::Relaxed) + 1;
+        let sum = content_checksum(&value);
+        let mut acked = 0usize;
+        let mut latency = SimDuration::ZERO;
+        for node in &owners {
+            if let Ok(l) = node.apply_put(key, value.clone(), now) {
+                acked += 1;
+                if l > latency {
+                    latency = l;
+                }
+            }
+        }
+        if acked < self.write_quorum {
+            return Err(ClusterError::NoQuorum {
+                key: key.to_string(),
+                acked,
+                needed: self.write_quorum,
+            });
+        }
+        let mut meta = self.meta.lock();
+        let entry = meta.keys.entry(key.to_string()).or_insert(KeyMeta {
+            version: 0,
+            checksum: 0,
+            deleted: true,
+        });
+        if version > entry.version {
+            *entry = KeyMeta {
+                version,
+                checksum: sum,
+                deleted: false,
+            };
+        }
+        Ok(latency)
+    }
+
+    /// Read: scans the replica set, serves the first copy matching the
+    /// authoritative checksum, and repairs every divergent or missing
+    /// owner from it.
+    pub fn get(&self, key: &str, now: SimTime) -> Result<(Bytes, SimDuration), ClusterError> {
+        let expected = {
+            let meta = self.meta.lock();
+            match meta.keys.get(key) {
+                None => return Err(ClusterError::NoSuchObject(key.to_string())),
+                Some(m) if m.deleted => {
+                    return Err(ClusterError::NoSuchObject(key.to_string()))
+                }
+                Some(m) => m.checksum,
+            }
+        };
+        let (owners, fallbacks) = self.route(key)?;
+        let mut fresh: Option<(Bytes, SimDuration)> = None;
+        let mut repair: Vec<Arc<ClusterNode>> = Vec::new();
+        let mut stale = 0usize;
+        let mut unreachable = 0usize;
+        for (i, node) in owners.iter().chain(fallbacks.iter()).enumerate() {
+            let is_owner = i < owners.len();
+            match node.apply_get(key, now) {
+                Ok((data, l)) => {
+                    if content_checksum(&data) == expected {
+                        if fresh.is_none() {
+                            fresh = Some((data, l));
+                        }
+                    } else {
+                        stale += 1;
+                        if is_owner {
+                            repair.push(Arc::clone(node));
+                        }
+                    }
+                }
+                Err(NodeError::Unavailable { .. }) => unreachable += 1,
+                Err(NodeError::Storage { .. }) => {
+                    // Missing copy (e.g. not yet migrated / stale rejoin).
+                    stale += 1;
+                    if is_owner {
+                        repair.push(Arc::clone(node));
+                    }
+                }
+            }
+        }
+        let Some((data, latency)) = fresh else {
+            return Err(ClusterError::NoFreshReplica {
+                key: key.to_string(),
+                stale,
+                unreachable,
+            });
+        };
+        // Read repair: restore the authoritative bytes on divergent
+        // owners (best effort; anti-entropy covers what this misses).
+        for node in repair {
+            let _ = node.apply_put(key, data.clone(), now);
+        }
+        Ok((data, latency))
+    }
+
+    /// Replicated delete, exactly once per `token`: redelivery (client
+    /// redial, coordinator failover) replays the recorded outcome.
+    pub fn delete(&self, token: u64, key: &str, now: SimTime) -> Result<SimDuration, ClusterError> {
+        {
+            let mut meta = self.meta.lock();
+            if let Some(cached) = meta.applied_deletes.get(&token) {
+                return if cached.found {
+                    Ok(cached.latency)
+                } else {
+                    Err(ClusterError::NoSuchObject(key.to_string()))
+                };
+            }
+            let exists = meta.keys.get(key).is_some_and(|m| !m.deleted);
+            if !exists {
+                meta.applied_deletes.insert(
+                    token,
+                    CachedDelete {
+                        found: false,
+                        latency: SimDuration::ZERO,
+                    },
+                );
+                return Err(ClusterError::NoSuchObject(key.to_string()));
+            }
+        }
+        let (owners, fallbacks) = self.route(key)?;
+        let version = self.versions.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut acked = 0usize;
+        let mut latency = SimDuration::ZERO;
+        for node in owners.iter().chain(fallbacks.iter()) {
+            if let Ok(ack) = node.apply_delete(token, key, now) {
+                acked += 1;
+                if ack.latency > latency {
+                    latency = ack.latency;
+                }
+            }
+        }
+        if acked < self.write_quorum {
+            // Possibly partially applied; NOT cached, so a retry with the
+            // same token can finish the job (node-level dedup makes the
+            // overlap harmless).
+            return Err(ClusterError::NoQuorum {
+                key: key.to_string(),
+                acked,
+                needed: self.write_quorum,
+            });
+        }
+        let mut meta = self.meta.lock();
+        if let Some(entry) = meta.keys.get_mut(key) {
+            if version > entry.version {
+                entry.version = version;
+                entry.deleted = true;
+            }
+        }
+        meta.applied_deletes
+            .insert(token, CachedDelete { found: true, latency });
+        Ok(latency)
+    }
+
+    // ---- batch shapes (per-item outcomes, like the v2 Multi* frames) ----
+
+    /// Routed `MultiPut`: per-item outcomes in input order.
+    pub fn multi_put(
+        &self,
+        items: &[(&str, Bytes)],
+        now: SimTime,
+    ) -> Vec<Result<SimDuration, ClusterError>> {
+        items
+            .iter()
+            .map(|(k, v)| self.put(k, v.clone(), now))
+            .collect()
+    }
+
+    /// Routed `MultiGet`: per-item outcomes in key order.
+    pub fn multi_get(
+        &self,
+        keys: &[&str],
+        now: SimTime,
+    ) -> Vec<Result<(Bytes, SimDuration), ClusterError>> {
+        keys.iter().map(|k| self.get(k, now)).collect()
+    }
+
+    /// Routed `MultiDelete`: one fresh token per key, outcomes in order.
+    pub fn multi_delete(
+        &self,
+        keys: &[&str],
+        now: SimTime,
+    ) -> Vec<Result<SimDuration, ClusterError>> {
+        keys.iter()
+            .map(|k| self.delete(self.next_token(), k, now))
+            .collect()
+    }
+
+    // ---- rejoin anti-entropy ----
+
+    /// Revives a killed node and repairs its stale state: every live key
+    /// it owns is checked against the authoritative checksum (repaired
+    /// from a fresh replica on mismatch), and every tombstoned key it
+    /// still holds is purged — no phantom keys after rejoin.
+    pub fn rejoin(&self, name: &str, now: SimTime) -> Result<RejoinReport, ClusterError> {
+        let (node, ring, handles) = {
+            let mut mem = self.membership.write();
+            let Some(node) = mem.nodes.iter().find(|n| n.name() == name).cloned() else {
+                return Err(ClusterError::UnknownNode(name.to_string()));
+            };
+            let epoch = mem.epoch;
+            mem.log.push(MembershipMsg::Rejoin {
+                node: name.to_string(),
+                epoch,
+            });
+            (node, mem.ring.clone(), mem.nodes.clone())
+        };
+        node.revive();
+        let entries: Vec<(String, KeyMeta)> = {
+            let meta = self.meta.lock();
+            meta.keys.iter().map(|(k, m)| (k.clone(), *m)).collect()
+        };
+        let mut report = RejoinReport::default();
+        for (key, km) in entries {
+            let owners = ring.owners(&key, self.replicas);
+            if !owners.iter().any(|o| o == name) {
+                continue;
+            }
+            report.checked += 1;
+            if km.deleted {
+                if let Ok((_, _)) = node.apply_get(&key, now) {
+                    if node.purge(&key, now).is_ok() {
+                        report.purged += 1;
+                    }
+                }
+                continue;
+            }
+            let have = match node.apply_get(&key, now) {
+                Ok((data, _)) if content_checksum(&data) == km.checksum => true,
+                _ => false,
+            };
+            if have {
+                continue;
+            }
+            // Repair from any fresh co-owner.
+            for peer_name in &owners {
+                if peer_name == name {
+                    continue;
+                }
+                let Some(peer) = find(&handles, peer_name) else {
+                    continue;
+                };
+                if let Ok((data, _)) = peer.apply_get(&key, now) {
+                    if content_checksum(&data) == km.checksum
+                        && node.apply_put(&key, data, now).is_ok()
+                    {
+                        report.repaired += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Owner handles for `key`: `(current owners, old-ring fallbacks
+    /// during a rebalance)`. Snapshotted out of the ring lock — node IO
+    /// never happens under it.
+    fn route(
+        &self,
+        key: &str,
+    ) -> Result<(Vec<Arc<ClusterNode>>, Vec<Arc<ClusterNode>>), ClusterError> {
+        let mem = self.membership.read();
+        if mem.ring.is_empty() {
+            return Err(ClusterError::NoMembers);
+        }
+        let owner_names = mem.ring.owners(key, self.replicas);
+        let fallback_names: Vec<String> = match &mem.rebalance {
+            Some(run) => run
+                .old_ring
+                .owners(key, self.replicas)
+                .into_iter()
+                .filter(|n| !owner_names.contains(n))
+                .collect(),
+            None => Vec::new(),
+        };
+        let owners = owner_names
+            .iter()
+            .filter_map(|n| find(&mem.nodes, n))
+            .collect();
+        let fallbacks = fallback_names
+            .iter()
+            .filter_map(|n| find(&mem.nodes, n))
+            .collect();
+        Ok((owners, fallbacks))
+    }
+}
+
+fn find(handles: &[Arc<ClusterNode>], name: &str) -> Option<Arc<ClusterNode>> {
+    handles.iter().find(|h| h.name() == name).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiera_core::prelude::*;
+    use tiera_sim::SimEnv;
+
+    fn mem_node(name: &str, seed: u64) -> Arc<ClusterNode> {
+        let inst = InstanceBuilder::new(name, SimEnv::new(seed))
+            .tier(MemTier::with_traits(
+                "t1",
+                64 << 20,
+                TierTraits {
+                    durable: true,
+                    ..TierTraits::default()
+                },
+            ))
+            .build()
+            .unwrap();
+        ClusterNode::new(name, inst)
+    }
+
+    fn cluster(n: usize, r: usize, w: usize) -> (Coordinator, Vec<Arc<ClusterNode>>) {
+        let coord = Coordinator::new(r, w);
+        let nodes: Vec<_> = (0..n).map(|i| mem_node(&format!("node-{i}"), 100 + i as u64)).collect();
+        for node in &nodes {
+            coord.add_node(Arc::clone(node)).unwrap();
+        }
+        (coord, nodes)
+    }
+
+    fn b(s: &str) -> Bytes {
+        Bytes::from(s.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn put_replicates_to_r_owners_and_get_routes() {
+        let (coord, nodes) = cluster(5, 3, 2);
+        let t = SimTime::ZERO;
+        for i in 0..64 {
+            let key = format!("k{i}");
+            coord.put(&key, b(&format!("v{i}")), t).unwrap();
+        }
+        for i in 0..64 {
+            let key = format!("k{i}");
+            let (data, _) = coord.get(&key, t).unwrap();
+            assert_eq!(&data[..], format!("v{i}").as_bytes());
+            // Exactly the ring owners hold a copy.
+            let owners = coord.owner_names(&key);
+            assert_eq!(owners.len(), 3);
+            for node in &nodes {
+                let holds = node.instance().contains(key.as_str());
+                assert_eq!(
+                    holds,
+                    owners.iter().any(|o| o == node.name()),
+                    "key {key} on node {}",
+                    node.name()
+                );
+            }
+        }
+        assert_eq!(coord.len(), 64);
+    }
+
+    #[test]
+    fn acks_require_w_and_survive_r_minus_w_failures() {
+        let (coord, nodes) = cluster(3, 3, 2);
+        let t = SimTime::ZERO;
+        // One owner down: W=2 of R=3 still reachable — put must succeed.
+        nodes[0].kill();
+        let mut acked = Vec::new();
+        for i in 0..32 {
+            let key = format!("k{i}");
+            if coord.put(&key, b(&format!("v{i}")), t).is_ok() {
+                acked.push(key);
+            }
+        }
+        assert_eq!(acked.len(), 32, "one dead node of three cannot block W=2");
+        // Two owners down: any key owned by both survivors-minus-one fails.
+        nodes[1].kill();
+        let failures = (0..32)
+            .filter(|i| coord.put(&format!("fresh{i}"), b("x"), t).is_err())
+            .count();
+        assert_eq!(failures, 32, "two dead nodes of three must block W=2");
+        // Every acked write is still readable with one node dead.
+        nodes[1].revive();
+        for key in &acked {
+            coord.get(key, t).unwrap();
+        }
+    }
+
+    #[test]
+    fn get_read_repairs_divergent_replicas() {
+        let (coord, nodes) = cluster(3, 3, 2);
+        let t = SimTime::ZERO;
+        coord.put("k", b("fresh"), t).unwrap();
+        // Corrupt one replica behind the coordinator's back.
+        let owners = coord.owner_names("k");
+        let victim = nodes.iter().find(|n| n.name() == owners[1]).unwrap();
+        victim.instance().put("k", &b"stale"[..], t).unwrap();
+        let (data, _) = coord.get("k", t).unwrap();
+        assert_eq!(&data[..], b"fresh");
+        // The divergent replica was repaired in passing.
+        let (repaired, _) = victim.instance().get("k", t).unwrap();
+        assert_eq!(&repaired[..], b"fresh");
+    }
+
+    #[test]
+    fn deleted_keys_answer_no_such_object_from_meta() {
+        let (coord, nodes) = cluster(3, 3, 2);
+        let t = SimTime::ZERO;
+        coord.put("k", b("v"), t).unwrap();
+        // One owner is dead through the delete: it keeps a stale copy.
+        let owners = coord.owner_names("k");
+        let sleeper = nodes.iter().find(|n| n.name() == owners[2]).unwrap();
+        sleeper.kill();
+        coord.delete(coord.next_token(), "k", t).unwrap();
+        sleeper.revive();
+        // The stale copy exists on the node, but the cluster-level read
+        // is authoritative: no phantom.
+        assert!(sleeper.instance().contains("k"));
+        assert!(matches!(
+            coord.get("k", t),
+            Err(ClusterError::NoSuchObject(_))
+        ));
+        assert!(!coord.contains("k"));
+        // Rejoin purges the phantom copy.
+        let report = coord.rejoin(sleeper.name(), t).unwrap();
+        assert_eq!(report.purged, 1);
+        assert!(!sleeper.instance().contains("k"));
+    }
+
+    #[test]
+    fn rejoin_repairs_stale_state() {
+        let (coord, nodes) = cluster(3, 3, 2);
+        let t = SimTime::ZERO;
+        for i in 0..48 {
+            coord.put(&format!("k{i}"), b(&format!("v{i}-old")), t).unwrap();
+        }
+        nodes[2].kill();
+        // Overwrites happen while node-2 is down (it misses them all).
+        for i in 0..48 {
+            coord.put(&format!("k{i}"), b(&format!("v{i}-new")), t).unwrap();
+        }
+        let report = coord.rejoin("node-2", t).unwrap();
+        assert!(report.checked > 0);
+        // Every key node-2 owns now matches the authoritative bytes.
+        for i in 0..48 {
+            let key = format!("k{i}");
+            if coord.owner_names(&key).iter().any(|o| o == "node-2") {
+                let (data, _) = nodes[2].instance().get(key.as_str(), t).unwrap();
+                assert_eq!(&data[..], format!("v{i}-new").as_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn join_triggers_minimal_migration_and_routing_follows() {
+        let (coord, _nodes) = cluster(3, 2, 1);
+        let t = SimTime::ZERO;
+        for i in 0..200 {
+            coord.put(&format!("k{i}"), b(&format!("v{i}")), t).unwrap();
+        }
+        let planned = coord.add_node(mem_node("node-9", 999)).unwrap();
+        assert!(planned > 0, "a join must claim some keys");
+        assert!(planned < 200, "a join must not move everything");
+        // Mid-rebalance, every key stays readable (old owners serve as
+        // fallbacks).
+        let step = coord.rebalance_step(t, 8 * 1024);
+        assert!(!step.done || step.remaining == 0);
+        for i in 0..200 {
+            coord.get(&format!("k{i}"), t).unwrap();
+        }
+        let report = coord.rebalance_all(t, 64 * 1024);
+        assert_eq!(report.planned, planned);
+        assert_eq!(report.deferred, 0);
+        assert!(coord.rebalance_done());
+        // Post-rebalance, reads still work and new owners really hold
+        // their keys (no fallbacks left).
+        for i in 0..200 {
+            coord.get(&format!("k{i}"), t).unwrap();
+        }
+        // Migration volume is bounded: only planned keys moved.
+        assert!(report.moved_keys <= planned as u64);
+    }
+
+    #[test]
+    fn leave_hands_off_ownership_before_detach() {
+        let (coord, nodes) = cluster(4, 2, 2);
+        let t = SimTime::ZERO;
+        for i in 0..100 {
+            coord.put(&format!("k{i}"), b(&format!("v{i}")), t).unwrap();
+        }
+        let planned = coord.remove_node("node-1").unwrap();
+        assert!(planned > 0);
+        coord.rebalance_all(t, 32 * 1024);
+        // The departed node serves no keys; all reads come from the rest.
+        nodes[1].kill();
+        for i in 0..100 {
+            coord.get(&format!("k{i}"), t).unwrap();
+        }
+    }
+
+    #[test]
+    fn quorum_parameters_are_validated() {
+        let err = std::panic::catch_unwind(|| Coordinator::new(2, 3));
+        assert!(err.is_err(), "W > R must be rejected");
+        let err = std::panic::catch_unwind(|| Coordinator::new(2, 0));
+        assert!(err.is_err(), "W = 0 must be rejected");
+    }
+
+    #[test]
+    fn membership_log_is_replayable_wire_traffic() {
+        let (coord, _nodes) = cluster(3, 2, 1);
+        coord.remove_node("node-1").unwrap();
+        let t = SimTime::ZERO;
+        coord.rebalance_all(t, 1 << 20);
+        coord.rejoin("node-0", t).unwrap();
+        let log = coord.membership_log();
+        assert_eq!(log.len(), 5, "3 joins, 1 leave, 1 rejoin");
+        // Every entry survives an encode/decode round trip — the log is
+        // literally what a peer would receive.
+        for msg in &log {
+            let bytes = msg.encode();
+            assert_eq!(&MembershipMsg::decode(&bytes).unwrap(), msg);
+        }
+        assert_eq!(coord.epoch(), 4);
+    }
+
+    #[test]
+    fn empty_cluster_and_unknown_nodes_error_cleanly() {
+        let coord = Coordinator::new(2, 1);
+        let t = SimTime::ZERO;
+        assert!(matches!(
+            coord.put("k", b("v"), t),
+            Err(ClusterError::NoMembers)
+        ));
+        assert!(matches!(
+            coord.get("k", t),
+            Err(ClusterError::NoSuchObject(_))
+        ));
+        assert!(matches!(
+            coord.rejoin("ghost", t),
+            Err(ClusterError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            coord.remove_node("ghost"),
+            Err(ClusterError::UnknownNode(_))
+        ));
+        let node = mem_node("n", 5);
+        coord.add_node(Arc::clone(&node)).unwrap();
+        assert!(matches!(
+            coord.add_node(node),
+            Err(ClusterError::DuplicateNode(_))
+        ));
+    }
+
+    #[test]
+    fn batch_ops_report_per_item_outcomes() {
+        let (coord, _nodes) = cluster(3, 2, 1);
+        let t = SimTime::ZERO;
+        let outcomes = coord.multi_put(&[("a", b("1")), ("b", b("2"))], t);
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        let got = coord.multi_get(&["a", "missing", "b"], t);
+        assert!(got[0].is_ok());
+        assert!(matches!(got[1], Err(ClusterError::NoSuchObject(_))));
+        assert!(got[2].is_ok());
+        let deleted = coord.multi_delete(&["a", "b", "a"], t);
+        assert!(deleted[0].is_ok() && deleted[1].is_ok());
+        assert!(
+            matches!(deleted[2], Err(ClusterError::NoSuchObject(_))),
+            "second delete of `a` must fail: {:?}",
+            deleted[2]
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # tiera-cluster — distributed Tiera
+//!
+//! The paper stops at one middleware node. This crate spreads an
+//! instance's keyspace over N nodes the way Anna and Dynamo-style stores
+//! do, while keeping every piece deterministic enough for the chaos
+//! harness in `tiera-chaos` to replay byte-identically:
+//!
+//! * [`Ring`] — a consistent-hash ring with virtual nodes. Placement is a
+//!   pure function of (node name, vnode index, key) through FxHash, so
+//!   two rings built from the same membership agree everywhere.
+//!   [`Ring::plan_rebalance`] computes the *minimal* migration plan
+//!   between two rings: exactly the keys whose owner set changed, never
+//!   more.
+//! * [`ClusterNode`] — one member: a full Tiera [`Instance`] plus the
+//!   fault flags the node-fault chaos schedule drives (killed,
+//!   partitioned, slow) and the applied-token table that makes routed
+//!   DELETEs idempotent.
+//! * [`Coordinator`] — routes PUT/GET/DELETE (and the Multi* batch
+//!   shapes) to the owners of each key, replicates writes to R
+//!   successors and acks after W confirmations, read-repairs divergent
+//!   replicas on GET, and runs the bandwidth-capped, resumable rebalance
+//!   engine when membership changes.
+//! * [`wire`] — length-prefixed membership and routed-op messages in the
+//!   `tiera-rpc` framing style; every decode path is statically
+//!   panic-free (the A004 analyzer list includes this file).
+//!
+//! Lock order (see `tiera_support::sync::rank`): `cluster.ring` →
+//! `cluster.meta` → `cluster.node`. Ring and meta guards are never held
+//! across node IO — owner sets are snapshotted out first — so the
+//! coordinator can be hammered from many threads while a rebalance is in
+//! flight (there is a lockcheck-gated test doing exactly that).
+//!
+//! [`Instance`]: tiera_core::Instance
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod node;
+pub mod ring;
+pub mod wire;
+
+pub use coordinator::{ClusterError, Coordinator, RebalanceReport};
+pub use node::{ClusterNode, NodeError};
+pub use ring::{KeyMove, RebalancePlan, Ring};
+pub use wire::{MembershipMsg, RoutedOp};

@@ -1,0 +1,352 @@
+//! One cluster member: a full Tiera instance plus the node-level fault
+//! flags and the idempotency table for routed deletes.
+//!
+//! Faults model what the chaos matrix needs:
+//!
+//! * **kill** freezes the node — every routed op fails until
+//!   [`ClusterNode::revive`], but state is preserved, so a revived node
+//!   comes back with exactly the data it held at kill time (the
+//!   "rejoin with stale state" shape: it missed every write in between).
+//! * **partition** makes the node unreachable without stopping it; heal
+//!   with the same flag.
+//! * **slow** adds a fixed virtual-latency penalty per op.
+//!
+//! The applied-token table is the server half of the redial fix: a
+//! coordinator failover and a client redial may deliver the same DELETE
+//! twice, and the first application's outcome is replayed instead of a
+//! second (incorrect) `no such object` apply.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tiera_core::Instance;
+use tiera_sim::{SimDuration, SimTime};
+use tiera_support::collections::FxHashMap;
+use tiera_support::sync::{rank, Mutex};
+use tiera_support::Bytes;
+
+/// Why a routed op failed on a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeError {
+    /// The node is killed or partitioned; the op was not applied.
+    Unavailable {
+        /// The unreachable node.
+        node: String,
+    },
+    /// The node's instance rejected the op (message from `TieraError`).
+    Storage {
+        /// The failing node.
+        node: String,
+        /// The instance's error text.
+        message: String,
+    },
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeError::Unavailable { node } => write!(f, "node {node} unreachable"),
+            NodeError::Storage { node, message } => write!(f, "node {node}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+/// Acknowledgement of a routed delete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeleteAck {
+    /// Charged virtual latency.
+    pub latency: SimDuration,
+    /// Whether the key existed on this node (false: already absent —
+    /// still an acknowledgement, the target state holds).
+    pub existed: bool,
+}
+
+#[derive(Debug, Default)]
+struct NodeState {
+    killed: bool,
+    partitioned: bool,
+    slow_penalty: SimDuration,
+    /// Idempotency: token → outcome of the first application.
+    applied_deletes: FxHashMap<u64, DeleteAck>,
+    deletes_applied: u64,
+}
+
+/// One member of a Tiera cluster.
+pub struct ClusterNode {
+    name: String,
+    instance: Arc<Instance>,
+    /// Fault flags + applied-token table. All nodes share the lock name,
+    /// so holding two nodes' state locks at once is a lockcheck
+    /// self-cycle by construction.
+    state: Mutex<NodeState>,
+}
+
+impl fmt::Debug for ClusterNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterNode").field("name", &self.name).finish()
+    }
+}
+
+impl ClusterNode {
+    /// Wraps an instance as a cluster member.
+    pub fn new(name: impl Into<String>, instance: Arc<Instance>) -> Arc<Self> {
+        Arc::new(Self {
+            name: name.into(),
+            instance,
+            state: Mutex::named(
+                "cluster.node",
+                rank::CLUSTER_NODE,
+                NodeState::default(),
+            ),
+        })
+    }
+
+    /// The node's name (its identity on the ring).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The backing instance.
+    pub fn instance(&self) -> &Arc<Instance> {
+        &self.instance
+    }
+
+    // ---- fault plane (driven by the node-fault chaos schedule) ----
+
+    /// Kills the node: state frozen, every op refused until revived.
+    pub fn kill(&self) {
+        self.state.lock().killed = true;
+    }
+
+    /// Brings a killed node back — with whatever (stale) state it froze
+    /// with. Anti-entropy is the coordinator's job
+    /// (`Coordinator::rejoin`).
+    pub fn revive(&self) {
+        self.state.lock().killed = false;
+    }
+
+    /// Sets or heals a network partition.
+    pub fn set_partitioned(&self, partitioned: bool) {
+        self.state.lock().partitioned = partitioned;
+    }
+
+    /// Adds a fixed virtual-latency penalty to every op (ZERO clears).
+    pub fn set_slow_penalty(&self, penalty: SimDuration) {
+        self.state.lock().slow_penalty = penalty;
+    }
+
+    /// Whether routed ops currently reach this node.
+    pub fn is_reachable(&self) -> bool {
+        let s = self.state.lock();
+        !s.killed && !s.partitioned
+    }
+
+    /// `(killed, partitioned, slow penalty)` — for event logs.
+    pub fn fault_state(&self) -> (bool, bool, SimDuration) {
+        let s = self.state.lock();
+        (s.killed, s.partitioned, s.slow_penalty)
+    }
+
+    /// Deletes actually applied to storage (not replayed from the token
+    /// table) — the observable the double-apply regression test pins.
+    pub fn deletes_applied(&self) -> u64 {
+        self.state.lock().deletes_applied
+    }
+
+    // ---- routed ops ----
+
+    /// Applies a replicated store.
+    pub fn apply_put(
+        &self,
+        key: &str,
+        value: Bytes,
+        now: SimTime,
+    ) -> Result<SimDuration, NodeError> {
+        let penalty = self.admit()?;
+        match self.instance.put(key, value, now) {
+            Ok(r) => Ok(r.latency + penalty),
+            Err(e) => Err(self.storage_err(e)),
+        }
+    }
+
+    /// Serves a read.
+    pub fn apply_get(&self, key: &str, now: SimTime) -> Result<(Bytes, SimDuration), NodeError> {
+        let penalty = self.admit()?;
+        match self.instance.get(key, now) {
+            Ok((data, r)) => Ok((data, r.latency + penalty)),
+            Err(e) => Err(self.storage_err(e)),
+        }
+    }
+
+    /// Applies a replicated delete exactly once per token: a token seen
+    /// before replays the recorded outcome without touching storage.
+    /// A key already absent still acknowledges (`existed: false`) — the
+    /// requested end state holds.
+    pub fn apply_delete(
+        &self,
+        token: u64,
+        key: &str,
+        now: SimTime,
+    ) -> Result<DeleteAck, NodeError> {
+        let mut s = self.state.lock();
+        if s.killed || s.partitioned {
+            return Err(NodeError::Unavailable {
+                node: self.name.clone(),
+            });
+        }
+        if let Some(ack) = s.applied_deletes.get(&token) {
+            return Ok(*ack);
+        }
+        let penalty = s.slow_penalty;
+        let ack = match self.instance.delete(key, now) {
+            Ok(latency) => {
+                s.deletes_applied += 1;
+                DeleteAck {
+                    latency: latency + penalty,
+                    existed: true,
+                }
+            }
+            Err(tiera_core::TieraError::NoSuchObject(_)) => DeleteAck {
+                latency: penalty,
+                existed: false,
+            },
+            Err(e) => return Err(self.storage_err(e)),
+        };
+        s.applied_deletes.insert(token, ack);
+        Ok(ack)
+    }
+
+    /// Purges a key during anti-entropy without token bookkeeping (used
+    /// when a rejoining node holds a copy of a tombstoned key).
+    pub fn purge(&self, key: &str, now: SimTime) -> Result<(), NodeError> {
+        self.admit()?;
+        match self.instance.delete(key, now) {
+            Ok(_) | Err(tiera_core::TieraError::NoSuchObject(_)) => Ok(()),
+            Err(e) => Err(self.storage_err(e)),
+        }
+    }
+
+    fn admit(&self) -> Result<SimDuration, NodeError> {
+        let s = self.state.lock();
+        if s.killed || s.partitioned {
+            return Err(NodeError::Unavailable {
+                node: self.name.clone(),
+            });
+        }
+        Ok(s.slow_penalty)
+    }
+
+    fn storage_err(&self, e: tiera_core::TieraError) -> NodeError {
+        NodeError::Storage {
+            node: self.name.clone(),
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiera_core::prelude::*;
+    use tiera_sim::SimEnv;
+
+    fn node(name: &str) -> Arc<ClusterNode> {
+        let inst = InstanceBuilder::new(name, SimEnv::new(7))
+            .tier(MemTier::with_traits(
+                "t1",
+                16 << 20,
+                TierTraits {
+                    durable: true,
+                    ..TierTraits::default()
+                },
+            ))
+            .build()
+            .unwrap();
+        ClusterNode::new(name, inst)
+    }
+
+    #[test]
+    fn ops_flow_through_to_the_instance() {
+        let n = node("n1");
+        let t = SimTime::ZERO;
+        n.apply_put("k", Bytes::from(&b"v"[..]), t).unwrap();
+        let (data, _) = n.apply_get("k", t).unwrap();
+        assert_eq!(&data[..], b"v");
+        let ack = n.apply_delete(1, "k", t).unwrap();
+        assert!(ack.existed);
+        assert!(n.apply_get("k", t).is_err());
+    }
+
+    #[test]
+    fn killed_and_partitioned_nodes_refuse_ops_but_keep_state() {
+        let n = node("n1");
+        let t = SimTime::ZERO;
+        n.apply_put("k", Bytes::from(&b"v"[..]), t).unwrap();
+        n.kill();
+        assert!(!n.is_reachable());
+        assert!(matches!(
+            n.apply_get("k", t),
+            Err(NodeError::Unavailable { .. })
+        ));
+        assert!(matches!(
+            n.apply_put("k2", Bytes::from(&b"x"[..]), t),
+            Err(NodeError::Unavailable { .. })
+        ));
+        assert!(matches!(
+            n.apply_delete(9, "k", t),
+            Err(NodeError::Unavailable { .. })
+        ));
+        n.revive();
+        let (data, _) = n.apply_get("k", t).unwrap();
+        assert_eq!(&data[..], b"v", "kill froze state, not lost it");
+        n.set_partitioned(true);
+        assert!(n.apply_get("k", t).is_err());
+        n.set_partitioned(false);
+        assert!(n.apply_get("k", t).is_ok());
+    }
+
+    #[test]
+    fn slow_penalty_inflates_latency() {
+        let n = node("n1");
+        let t = SimTime::ZERO;
+        let base = n.apply_put("k", Bytes::from(&b"v"[..]), t).unwrap();
+        n.set_slow_penalty(SimDuration::from_secs(2));
+        let slow = n.apply_put("k", Bytes::from(&b"v"[..]), t).unwrap();
+        assert!(slow >= base + SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn delete_tokens_are_idempotent() {
+        let n = node("n1");
+        let t = SimTime::ZERO;
+        n.apply_put("k", Bytes::from(&b"v"[..]), t).unwrap();
+        let first = n.apply_delete(42, "k", t).unwrap();
+        assert!(first.existed);
+        assert_eq!(n.deletes_applied(), 1);
+        // Redelivery with the same token replays the outcome.
+        let replay = n.apply_delete(42, "k", t).unwrap();
+        assert_eq!(replay, first);
+        assert_eq!(n.deletes_applied(), 1, "storage touched exactly once");
+        // A *different* token against the now-absent key acks without
+        // claiming the key existed.
+        let other = n.apply_delete(43, "k", t).unwrap();
+        assert!(!other.existed);
+        assert_eq!(n.deletes_applied(), 1);
+    }
+
+    #[test]
+    fn unavailable_outcomes_are_not_cached() {
+        let n = node("n1");
+        let t = SimTime::ZERO;
+        n.apply_put("k", Bytes::from(&b"v"[..]), t).unwrap();
+        n.kill();
+        assert!(n.apply_delete(7, "k", t).is_err());
+        n.revive();
+        // The failed attempt never applied, so the same token now does.
+        let ack = n.apply_delete(7, "k", t).unwrap();
+        assert!(ack.existed);
+        assert_eq!(n.deletes_applied(), 1);
+    }
+}

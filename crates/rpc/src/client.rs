@@ -161,6 +161,7 @@ pub struct TieraClient {
     addr: SocketAddr,
     deadline: Option<Duration>,
     conn: Option<Conn>,
+    redials: u64,
 }
 
 impl TieraClient {
@@ -186,6 +187,7 @@ impl TieraClient {
                 reader: BufReader::new(stream.try_clone()?),
                 writer: BufWriter::new(stream),
             }),
+            redials: 0,
         })
     }
 
@@ -193,6 +195,15 @@ impl TieraClient {
     /// transport error, until the next call reconnects).
     pub fn is_connected(&self) -> bool {
         self.conn.is_some()
+    }
+
+    /// How many times this client has transparently reconnected after a
+    /// transport error. A redial means the previous request's fate is
+    /// unknown — it may or may not have been applied — so any
+    /// non-idempotent retry issued after a redial must carry an
+    /// idempotency token (see `tiera-cluster`'s routed DELETE).
+    pub fn redials(&self) -> u64 {
+        self.redials
     }
 
     fn call(&mut self, req: &Request) -> io::Result<Response> {
@@ -209,6 +220,7 @@ impl TieraClient {
     fn try_call(&mut self, req: &Request) -> io::Result<Response> {
         if self.conn.is_none() {
             self.conn = Some(open_conn(self.addr, self.deadline)?);
+            self.redials += 1;
         }
         let conn = self.conn.as_mut().expect("connection just ensured");
         write_frame(&mut conn.writer, &req.encode())?;

@@ -419,11 +419,18 @@ fn server_killed_mid_request_fails_the_call_and_reconnects() {
         write_frame(&mut stream, &Response::Pong.encode()).unwrap();
     });
     let mut client = TieraClient::connect(addr).unwrap();
+    assert_eq!(client.redials(), 0, "the initial dial is not a redial");
     let err = client.ping().unwrap_err();
     assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "{err}");
     assert!(!client.is_connected(), "errored connection must be poisoned");
     client.ping().unwrap();
     assert!(client.is_connected());
+    assert_eq!(
+        client.redials(),
+        1,
+        "exactly one transparent redial — the signal a retrying caller \
+         must pair with an idempotency token"
+    );
 }
 
 #[test]

@@ -52,7 +52,10 @@ use std::sync::PoisonError;
 /// instead). The tiers of the table, outermost first:
 ///
 /// 1. facade crates that call into an [`Instance`] while holding their own
-///    state (`tiera-db`, `tiera-fs`);
+///    state (`tiera-db`, `tiera-fs`), and the cluster plane above them
+///    (documented order **ring → meta → node**; node state may be held
+///    across a call into the node's backing instance, ring/meta never
+///    across node IO — see `crates/cluster/src/coordinator.rs`);
 /// 2. the policy rule list, held while metrics are evaluated;
 /// 3. instance-level state (`tiers`, `keyring`, `background`, `retry`,
 ///    `retry_rng`, `alerts`);
@@ -80,6 +83,16 @@ pub mod rank {
     /// `tiera-fs` path → length table; held across instance IO on the
     /// manifest path.
     pub const FS_FILES: u16 = 16;
+    /// The cluster hash ring + rebalance plan (`tiera-cluster`); snapshot
+    /// owners out and drop before any node IO.
+    pub const CLUSTER_RING: u16 = 17;
+    /// The coordinator's authoritative per-key metadata (version,
+    /// checksum, tombstones); never held across node IO.
+    pub const CLUSTER_META: u16 = 18;
+    /// One cluster node's local state (fault flags, idempotency table).
+    /// All nodes share the name: holding two nodes' state locks at once
+    /// is a self-cycle and panics under lockcheck.
+    pub const CLUSTER_NODE: u16 = 19;
     /// The installed policy rule list; held while rule guards and metrics
     /// are evaluated against the registry and tiers.
     pub const POLICY_RULES: u16 = 20;
@@ -155,6 +168,9 @@ pub mod rank {
         ("db.shared", DB_SHARED),
         ("db.rows", DB_ROWS),
         ("fs.files", FS_FILES),
+        ("cluster.ring", CLUSTER_RING),
+        ("cluster.meta", CLUSTER_META),
+        ("cluster.node", CLUSTER_NODE),
         ("policy.rules", POLICY_RULES),
         ("instance.tiers", INSTANCE_TIERS),
         ("instance.keyring", INSTANCE_KEYRING),

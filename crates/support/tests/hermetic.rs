@@ -129,9 +129,9 @@ fn no_external_dependencies_anywhere() {
         manifests.push(path);
     }
     assert!(
-        manifests.len() >= 16,
-        "expected the workspace root and 15+ member manifests (including \
-         crates/analyzer), found {}",
+        manifests.len() >= 17,
+        "expected the workspace root and 16+ member manifests (including \
+         crates/cluster), found {}",
         manifests.len()
     );
 
@@ -227,18 +227,19 @@ fn std_sync_locks_only_in_support() {
 
 #[test]
 fn wire_decoders_cannot_panic_on_hostile_input() {
-    // `crates/rpc/src/proto.rs` is the only code that parses bytes an
-    // untrusted peer controls; every decode path there must return
-    // `io::Result`, never panic. The proto fuzz suite exercises this
-    // dynamically; analyzer lint A004 pins it statically: outside the
-    // `#[cfg(test)]` module, no panicking construct may appear in the file
-    // at all. (Even `unwrap` on a value "known" to be fine is banned —
-    // refactors have a way of breaking such knowledge silently.)
+    // `crates/rpc/src/proto.rs` and `crates/cluster/src/wire.rs` are the
+    // only code that parses bytes an untrusted peer controls; every decode
+    // path there must return a `Result`, never panic. The fuzz suites
+    // exercise this dynamically; analyzer lint A004 pins it statically:
+    // outside the `#[cfg(test)]` module, no panicking construct may appear
+    // in those files at all. (Even `unwrap` on a value "known" to be fine
+    // is banned — refactors have a way of breaking such knowledge
+    // silently.)
     let violations = findings_with_code(&analyzer_reports(), "A004");
     assert!(
         violations.is_empty(),
-        "panicking construct reachable from wire input in proto.rs \
-         (return io::Result instead):\n  {}",
+        "panicking construct reachable from wire input in a panic-free file \
+         (return a Result instead):\n  {}",
         violations.join("\n  ")
     );
 }

@@ -65,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use tiera_cluster as cluster;
 pub use tiera_codec as codec;
 pub use tiera_core as core;
 pub use tiera_db as db;
