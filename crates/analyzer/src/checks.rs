@@ -44,6 +44,7 @@ impl Config {
             panic_free: vec![
                 "crates/rpc/src/proto.rs".into(),
                 "crates/cluster/src/wire.rs".into(),
+                "crates/tierx/src/header.rs".into(),
             ],
             hot_path: vec!["crates/core/src/registry.rs".into()],
         }

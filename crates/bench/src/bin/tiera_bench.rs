@@ -35,11 +35,11 @@
 use std::process::ExitCode;
 
 use tiera_bench::json::Value;
-use tiera_bench::{chaos_report, cluster_bench, hotpath, metastore_bench};
+use tiera_bench::{chaos_report, cluster_bench, hotpath, metastore_bench, tco_bench};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  tiera-bench hotpath [--quick] [--out PATH]\n  tiera-bench metastore [--quick] [--out PATH]\n  tiera-bench rpc-smoke [--quick]\n  tiera-bench chaos [--quick] [--seed N] [--out PATH]\n  tiera-bench cluster [--quick] [--out PATH]\n  tiera-bench cluster-chaos [--quick] [--seed N] [--out PATH]\n  tiera-bench check <report.json>"
+        "usage:\n  tiera-bench hotpath [--quick] [--out PATH]\n  tiera-bench metastore [--quick] [--out PATH]\n  tiera-bench tco [--quick] [--out PATH]\n  tiera-bench rpc-smoke [--quick]\n  tiera-bench chaos [--quick] [--seed N] [--out PATH]\n  tiera-bench cluster [--quick] [--out PATH]\n  tiera-bench cluster-chaos [--quick] [--seed N] [--out PATH]\n  tiera-bench check <report.json>"
     );
     ExitCode::FAILURE
 }
@@ -51,7 +51,7 @@ fn main() -> ExitCode {
     // an existing report, so it stays usable from instrumented builds.
     let measuring = matches!(
         args.first().map(String::as_str),
-        Some("hotpath" | "metastore" | "rpc-smoke" | "chaos" | "cluster" | "cluster-chaos")
+        Some("hotpath" | "metastore" | "tco" | "rpc-smoke" | "chaos" | "cluster" | "cluster-chaos")
     );
     if measuring && tiera_support::sync::LOCKCHECK {
         eprintln!(
@@ -103,6 +103,32 @@ fn main() -> ExitCode {
             }
             let report = metastore_bench::run(&metastore_bench::Options { quick });
             if let Err(e) = metastore_bench::validate(&report) {
+                eprintln!("internal error: generated report fails validation: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = std::fs::write(&out, report.to_pretty()) {
+                eprintln!("write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Some("tco") => {
+            let mut quick = false;
+            let mut out = String::from("BENCH_pr10.json");
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--quick" => quick = true,
+                    "--out" => match rest.next() {
+                        Some(path) => out = path.clone(),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            let report = tco_bench::run(&tco_bench::Options { quick });
+            if let Err(e) = tco_bench::validate(&report) {
                 eprintln!("internal error: generated report fails validation: {e}");
                 return ExitCode::FAILURE;
             }
@@ -253,6 +279,7 @@ fn main() -> ExitCode {
                 Some("cluster") => cluster_bench::validate(&report),
                 Some("cluster-chaos") => cluster_bench::validate_matrix(&report),
                 Some("metastore") => metastore_bench::validate(&report),
+                Some("tco") => tco_bench::validate(&report),
                 _ => hotpath::validate(&report),
             };
             match outcome {

@@ -29,5 +29,6 @@ pub mod hotpath;
 pub mod json;
 pub mod metastore_bench;
 pub mod table;
+pub mod tco_bench;
 
 pub use table::Table;

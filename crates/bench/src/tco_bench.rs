@@ -1,0 +1,625 @@
+//! Wall-clock TCO benchmark for the tierx wrappers (`tiera-bench tco`).
+//!
+//! The motivating claim ("Taming Server Memory TCO with Multiple
+//! Software-Defined Compressed Tiers", plus the Tiera paper's §4 cost
+//! experiments): a software-defined compressed or content-addressed tier
+//! trades CPU on the data path for effective capacity, and the trade is
+//! worth dollars. This bench quantifies both sides of that trade for the
+//! four memory-tier configurations {raw, compressed, dedup,
+//! compressed+dedup} under a YCSB-zipf op mix on compressible payloads:
+//!
+//! * **Effective capacity** — logical bytes accepted before the backing
+//!   tier fills (fill stops at [`FILL_CAP_MULT`]× the backing capacity so
+//!   a dedup tier fed from a finite payload pool terminates). From it,
+//!   **cost per logical GB**: the backing tier's monthly capacity cost
+//!   divided by the logical gigabytes it effectively holds.
+//! * **Effective p99** — per-op put/get latency over the simulated
+//!   same-AZ memcached tier: the tier's virtual service time (~250 µs
+//!   RTT) *plus* the wall-clock CPU the wrapper stack spends on the op
+//!   (lzss, crc32, sha256). Virtual-only numbers would hide the transform
+//!   entirely; wall-only numbers against a zero-latency map would compare
+//!   a compressor to a memcpy, which no deployment does. The sum is the
+//!   latency a client of the wrapped tier would actually see.
+//!
+//! Results land in `BENCH_pr10.json`; [`validate`] checks the schema in
+//! both modes and enforces the acceptance floors on full reports: the
+//! compressed tier must buy at least [`CAPACITY_RATIO_FLOOR`]× effective
+//! capacity, the dedup tier at least [`DEDUP_RATIO_FLOOR`]× on the pooled
+//! workload, and the compressed data path must stay within
+//! [`PUT_P99_CEILING`]×/[`GET_P99_CEILING`]× of raw effective p99.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tiera_core::object::ObjectKey;
+use tiera_core::tier::TierHandle;
+use tiera_sim::{SimEnv, SimTime};
+use tiera_support::rng::SimRng;
+use tiera_support::Bytes;
+use tiera_tiers::MemoryTier;
+use tiera_tierx::{CompressedTier, DedupTier};
+use tiera_workloads::dist::KeyChooser;
+
+use crate::json::Value;
+
+/// Distinct payloads in the pool; keys share payloads `pool_size`-to-1,
+/// which is what gives dedup something to collapse.
+pub const PAYLOAD_POOL: usize = 64;
+/// Payload size in bytes.
+pub const VALUE_BYTES: usize = 4096;
+/// Fill stops once accepted logical bytes reach this multiple of the
+/// backing capacity (a dedup tier over a finite pool never fills on its
+/// own). Capacity ratios are therefore capped at this value.
+pub const FILL_CAP_MULT: u64 = 8;
+/// Full-mode acceptance: compressed effective capacity must be at least
+/// this multiple of raw (ISSUE 10's headline trade).
+pub const CAPACITY_RATIO_FLOOR: f64 = 1.5;
+/// Full-mode acceptance: dedup effective capacity on the pooled workload
+/// must be at least this multiple of raw.
+pub const DEDUP_RATIO_FLOOR: f64 = 4.0;
+/// Full-mode acceptance: compressed effective put p99 must stay within
+/// this multiple of raw effective put p99 (ISSUE 10's "at ≤ 3× p99").
+pub const PUT_P99_CEILING: f64 = 3.0;
+/// Full-mode acceptance: compressed effective get p99 within this
+/// multiple of raw.
+pub const GET_P99_CEILING: f64 = 3.0;
+
+/// Benchmark options.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Quick mode: small tier and short op stream for CI smoke — noisy
+    /// numbers, but the harness and schema are fully exercised.
+    pub quick: bool,
+}
+
+impl Options {
+    /// Backing-tier capacity for the fill phase.
+    fn fill_capacity(&self) -> u64 {
+        if self.quick {
+            4 << 20
+        } else {
+            64 << 20
+        }
+    }
+
+    /// Distinct keys in the latency phase.
+    fn records(&self) -> u64 {
+        if self.quick {
+            512
+        } else {
+            4096
+        }
+    }
+
+    /// Measured operations in the latency phase.
+    fn ops(&self) -> u64 {
+        if self.quick {
+            2_000
+        } else {
+            40_000
+        }
+    }
+}
+
+/// The four configurations under test, in report order.
+const CONFIGS: [&str; 4] = ["raw", "compressed", "dedup", "compressed+dedup"];
+
+/// Builds one configuration over a fresh simulated same-AZ memcached tier
+/// of `capacity` bytes.
+fn build(config: &str, capacity: u64, env: &SimEnv) -> TierHandle {
+    let inner: TierHandle = Arc::new(MemoryTier::same_az("mem", capacity, env));
+    match config {
+        "raw" => inner,
+        "compressed" => CompressedTier::new(inner),
+        "dedup" => DedupTier::new(inner),
+        "compressed+dedup" => DedupTier::new(CompressedTier::new(inner)),
+        other => unreachable!("unknown config {other}"),
+    }
+}
+
+/// Deterministic compressible payload `p` of the pool: alternating 32-byte
+/// runs of seeded pseudo-random bytes and a repeated phrase, so lzss finds
+/// real redundancy but the payload is not degenerate (roughly half the
+/// bytes are incompressible).
+fn pool_payload(p: usize) -> Vec<u8> {
+    let mut rng = SimRng::new(0xC0_1D + p as u64);
+    let phrase = format!("tiera tco pool payload {p:03} ");
+    let phrase = phrase.as_bytes();
+    let mut out = Vec::with_capacity(VALUE_BYTES);
+    while out.len() < VALUE_BYTES {
+        for _ in 0..32 {
+            if out.len() < VALUE_BYTES {
+                out.push(rng.next_u64() as u8);
+            }
+        }
+        let mut i = 0;
+        while i < 32 && out.len() < VALUE_BYTES {
+            out.push(phrase[i % phrase.len()]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Fill phase: puts pooled payloads under fresh keys until the backing
+/// tier fills (or the [`FILL_CAP_MULT`] cap is reached) and reports the
+/// logical bytes accepted plus the dollars they cost.
+fn fill_point(config: &str, capacity: u64, pool: &[Bytes]) -> Value {
+    let tier = build(config, capacity, &SimEnv::new(10));
+    let cap_bytes = capacity * FILL_CAP_MULT;
+    let mut logical = 0u64;
+    let mut capped = false;
+    let mut i = 0u64;
+    loop {
+        if logical + VALUE_BYTES as u64 > cap_bytes {
+            capped = true;
+            break;
+        }
+        let key = ObjectKey::new(format!("fill-{i:010}"));
+        let data = pool[(i as usize) % pool.len()].clone();
+        match tier.put(&key, data, SimTime::ZERO) {
+            Ok(_) => logical += VALUE_BYTES as u64,
+            Err(_) => break, // TierFull: the backing store is genuinely out
+        }
+        i += 1;
+    }
+    let monthly_cost = tier.monthly_cost(SimTime::ZERO);
+    let logical_gb = logical as f64 / (1024.0 * 1024.0 * 1024.0);
+    eprintln!(
+        "  fill {config}: {logical} logical bytes over {capacity} physical \
+         ({}x{}), ${monthly_cost:.2}/mo",
+        logical / capacity.max(1),
+        if capped { " capped" } else { "" },
+    );
+    Value::obj([
+        ("logical_bytes", Value::Num(logical as f64)),
+        ("physical_capacity", Value::Num(capacity as f64)),
+        ("physical_used", Value::Num(tier.used() as f64)),
+        ("capped", Value::Bool(capped)),
+        ("monthly_cost", Value::Num(monthly_cost)),
+        (
+            "cost_per_logical_gb",
+            Value::Num(if logical_gb > 0.0 {
+                monthly_cost / logical_gb
+            } else {
+                0.0
+            }),
+        ),
+    ])
+}
+
+/// Sorted-percentile helper over nanosecond samples, in microseconds.
+fn percentile_us(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx] as f64 / 1_000.0
+}
+
+/// Latency phase: preloads `records` keys, then runs a 50/50 put/get
+/// YCSB-zipf mix and reports effective put/get percentiles — the tier's
+/// virtual service time plus the wall-clock cost of the wrapper stack.
+fn latency_point(config: &str, opts: &Options, pool: &[Bytes]) -> Value {
+    // Sized so the raw configuration cannot fill mid-run (every key is
+    // preloaded once and rewrites replace in place).
+    let capacity = opts.records() * VALUE_BYTES as u64 * 2;
+    let tier = build(config, capacity, &SimEnv::new(10));
+    let keys: Vec<ObjectKey> = (0..opts.records())
+        .map(|i| ObjectKey::new(format!("user{i:012}")))
+        .collect();
+    for (i, key) in keys.iter().enumerate() {
+        tier.put(key, pool[i % pool.len()].clone(), SimTime::ZERO)
+            .expect("preload fits");
+    }
+
+    let chooser = KeyChooser::zipfian(opts.records());
+    let mut rng = SimRng::new(10);
+    let mut put_ns: Vec<u64> = Vec::with_capacity(opts.ops() as usize);
+    let mut get_ns: Vec<u64> = Vec::with_capacity(opts.ops() as usize);
+    for _ in 0..opts.ops() {
+        let key = &keys[chooser.next(&mut rng) as usize];
+        if rng.chance(0.5) {
+            let data = pool[(rng.next_u64() as usize) % pool.len()].clone();
+            let start = Instant::now();
+            let receipt = tier.put(key, data, SimTime::ZERO).expect("bench put");
+            put_ns.push(start.elapsed().as_nanos() as u64 + receipt.latency.as_nanos());
+        } else {
+            let start = Instant::now();
+            let (data, receipt) = tier.get(key, SimTime::ZERO).expect("bench get");
+            let wall = start.elapsed().as_nanos() as u64;
+            get_ns.push(wall + receipt.latency.as_nanos());
+            assert_eq!(data.len(), VALUE_BYTES, "transforms must be transparent");
+        }
+    }
+    put_ns.sort_unstable();
+    get_ns.sort_unstable();
+    let point = Value::obj([
+        ("put_p50_us", Value::Num(percentile_us(&put_ns, 0.50))),
+        ("put_p99_us", Value::Num(percentile_us(&put_ns, 0.99))),
+        ("get_p50_us", Value::Num(percentile_us(&get_ns, 0.50))),
+        ("get_p99_us", Value::Num(percentile_us(&get_ns, 0.99))),
+        ("puts", Value::Num(put_ns.len() as f64)),
+        ("gets", Value::Num(get_ns.len() as f64)),
+    ]);
+    eprintln!(
+        "  latency {config}: put p99 {:.1} us, get p99 {:.1} us",
+        percentile_us(&put_ns, 0.99),
+        percentile_us(&get_ns, 0.99)
+    );
+    point
+}
+
+fn ratio(nums: &[(String, f64)], config: &str, baseline: &str) -> f64 {
+    let get = |name: &str| nums.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+    match (get(config), get(baseline)) {
+        (Some(c), Some(b)) if b > 0.0 => c / b,
+        _ => 0.0,
+    }
+}
+
+/// Runs the full TCO suite and assembles the `BENCH_pr10.json` report.
+pub fn run(opts: &Options) -> Value {
+    eprintln!(
+        "tco: wall-clock wrapper benchmark over {} configs{}",
+        CONFIGS.len(),
+        if opts.quick { " (quick mode)" } else { "" }
+    );
+    let pool: Vec<Bytes> = (0..PAYLOAD_POOL)
+        .map(|p| Bytes::from(pool_payload(p)))
+        .collect();
+
+    let mut configs = Vec::new();
+    let mut capacities: Vec<(String, f64)> = Vec::new();
+    let mut put_p99s: Vec<(String, f64)> = Vec::new();
+    let mut get_p99s: Vec<(String, f64)> = Vec::new();
+    for config in CONFIGS {
+        let fill = fill_point(config, opts.fill_capacity(), &pool);
+        let latency = latency_point(config, opts, &pool);
+        capacities.push((
+            config.to_string(),
+            fill.get("logical_bytes").and_then(Value::as_num).unwrap_or(0.0),
+        ));
+        put_p99s.push((
+            config.to_string(),
+            latency.get("put_p99_us").and_then(Value::as_num).unwrap_or(0.0),
+        ));
+        get_p99s.push((
+            config.to_string(),
+            latency.get("get_p99_us").and_then(Value::as_num).unwrap_or(0.0),
+        ));
+        configs.push(Value::obj([
+            ("name", Value::Str(config.into())),
+            ("fill", fill),
+            ("latency", latency),
+        ]));
+    }
+
+    let summary = Value::obj([
+        (
+            "compressed_capacity_ratio",
+            Value::Num(ratio(&capacities, "compressed", "raw")),
+        ),
+        (
+            "dedup_capacity_ratio",
+            Value::Num(ratio(&capacities, "dedup", "raw")),
+        ),
+        (
+            "both_capacity_ratio",
+            Value::Num(ratio(&capacities, "compressed+dedup", "raw")),
+        ),
+        (
+            "compressed_put_p99_ratio",
+            Value::Num(ratio(&put_p99s, "compressed", "raw")),
+        ),
+        (
+            "compressed_get_p99_ratio",
+            Value::Num(ratio(&get_p99s, "compressed", "raw")),
+        ),
+    ]);
+    Value::obj([
+        ("bench", Value::Str("tco".into())),
+        ("pr", Value::Num(10.0)),
+        ("quick", Value::Bool(opts.quick)),
+        (
+            "meta",
+            Value::obj([
+                ("value_bytes", Value::Num(VALUE_BYTES as f64)),
+                ("payload_pool", Value::Num(PAYLOAD_POOL as f64)),
+                ("fill_capacity", Value::Num(opts.fill_capacity() as f64)),
+                ("fill_cap_mult", Value::Num(FILL_CAP_MULT as f64)),
+                ("records", Value::Num(opts.records() as f64)),
+                ("ops", Value::Num(opts.ops() as f64)),
+            ]),
+        ),
+        ("configs", Value::Arr(configs)),
+        ("summary", summary),
+    ])
+}
+
+fn positive_num(v: Option<&Value>, what: &str) -> Result<f64, String> {
+    v.and_then(Value::as_num)
+        .filter(|n| *n > 0.0 && n.is_finite())
+        .ok_or_else(|| format!("`{what}` must be a positive number"))
+}
+
+fn check_config(config: &Value, what: &str) -> Result<(), String> {
+    config
+        .get("name")
+        .and_then(Value::as_str)
+        .filter(|n| CONFIGS.contains(n))
+        .ok_or_else(|| format!("`{what}.name` must be one of {CONFIGS:?}"))?;
+    let fill = config.get("fill").ok_or_else(|| format!("missing `{what}.fill`"))?;
+    let logical = positive_num(fill.get("logical_bytes"), &format!("{what}.fill.logical_bytes"))?;
+    positive_num(
+        fill.get("physical_capacity"),
+        &format!("{what}.fill.physical_capacity"),
+    )?;
+    if !matches!(fill.get("capped"), Some(Value::Bool(_))) {
+        return Err(format!("`{what}.fill.capped` must be a boolean"));
+    }
+    let cost = positive_num(fill.get("monthly_cost"), &format!("{what}.fill.monthly_cost"))?;
+    let per_gb = positive_num(
+        fill.get("cost_per_logical_gb"),
+        &format!("{what}.fill.cost_per_logical_gb"),
+    )?;
+    let logical_gb = logical / (1024.0 * 1024.0 * 1024.0);
+    if (per_gb - cost / logical_gb).abs() > per_gb.abs() * 1e-6 {
+        return Err(format!("`{what}.fill.cost_per_logical_gb` disagrees with its ratio"));
+    }
+    let latency = config
+        .get("latency")
+        .ok_or_else(|| format!("missing `{what}.latency`"))?;
+    for field in ["put_p50_us", "put_p99_us", "get_p50_us", "get_p99_us"] {
+        positive_num(latency.get(field), &format!("{what}.latency.{field}"))?;
+    }
+    Ok(())
+}
+
+/// Validates a TCO report. Quick-mode reports are checked structurally
+/// only; a **full** report additionally carries the PR 10 acceptance
+/// floors on effective capacity and the compressed-path p99 ceilings.
+pub fn validate(report: &Value) -> Result<(), String> {
+    if report.get("bench").and_then(Value::as_str) != Some("tco") {
+        return Err("`bench` must be \"tco\"".into());
+    }
+    report
+        .get("pr")
+        .and_then(Value::as_num)
+        .filter(|&n| n == 10.0)
+        .ok_or("`pr` must be 10")?;
+    let quick = match report.get("quick") {
+        Some(Value::Bool(q)) => *q,
+        _ => return Err("`quick` must be a boolean".into()),
+    };
+    let meta = report.get("meta").ok_or("missing `meta`")?;
+    positive_num(meta.get("value_bytes"), "meta.value_bytes")?;
+
+    let configs = report
+        .get("configs")
+        .and_then(Value::as_arr)
+        .filter(|c| c.len() == CONFIGS.len())
+        .ok_or_else(|| format!("`configs` must be an array of {}", CONFIGS.len()))?;
+    for (i, config) in configs.iter().enumerate() {
+        check_config(config, &format!("configs[{i}]"))?;
+    }
+
+    let summary = report.get("summary").ok_or("missing `summary`")?;
+    let compressed_cap = positive_num(
+        summary.get("compressed_capacity_ratio"),
+        "summary.compressed_capacity_ratio",
+    )?;
+    let dedup_cap = positive_num(
+        summary.get("dedup_capacity_ratio"),
+        "summary.dedup_capacity_ratio",
+    )?;
+    let both_cap = positive_num(
+        summary.get("both_capacity_ratio"),
+        "summary.both_capacity_ratio",
+    )?;
+    let put_ratio = positive_num(
+        summary.get("compressed_put_p99_ratio"),
+        "summary.compressed_put_p99_ratio",
+    )?;
+    let get_ratio = positive_num(
+        summary.get("compressed_get_p99_ratio"),
+        "summary.compressed_get_p99_ratio",
+    )?;
+
+    if quick {
+        return Ok(()); // CI smoke: schema only, no timing assertions.
+    }
+    // Full-mode acceptance floors (ISSUE 10).
+    if compressed_cap < CAPACITY_RATIO_FLOOR {
+        return Err(format!(
+            "compressed effective capacity {compressed_cap:.2}x raw is below \
+             the {CAPACITY_RATIO_FLOOR}x acceptance floor"
+        ));
+    }
+    if dedup_cap < DEDUP_RATIO_FLOOR {
+        return Err(format!(
+            "dedup effective capacity {dedup_cap:.2}x raw is below the \
+             {DEDUP_RATIO_FLOOR}x acceptance floor"
+        ));
+    }
+    if both_cap < CAPACITY_RATIO_FLOOR {
+        return Err(format!(
+            "compressed+dedup effective capacity {both_cap:.2}x raw is below \
+             the {CAPACITY_RATIO_FLOOR}x acceptance floor"
+        ));
+    }
+    if put_ratio > PUT_P99_CEILING {
+        return Err(format!(
+            "compressed put p99 {put_ratio:.1}x raw exceeds the \
+             {PUT_P99_CEILING}x ceiling"
+        ));
+    }
+    if get_ratio > GET_P99_CEILING {
+        return Err(format!(
+            "compressed get p99 {get_ratio:.1}x raw exceeds the \
+             {GET_P99_CEILING}x ceiling"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stub_config(name: &str, logical: f64) -> Value {
+        let cost = 1.2;
+        Value::obj([
+            ("name", Value::Str(name.into())),
+            (
+                "fill",
+                Value::obj([
+                    ("logical_bytes", Value::Num(logical)),
+                    ("physical_capacity", Value::Num(64.0 * 1024.0 * 1024.0)),
+                    ("physical_used", Value::Num(64.0 * 1024.0 * 1024.0)),
+                    ("capped", Value::Bool(false)),
+                    ("monthly_cost", Value::Num(cost)),
+                    (
+                        "cost_per_logical_gb",
+                        Value::Num(cost / (logical / (1024.0 * 1024.0 * 1024.0))),
+                    ),
+                ]),
+            ),
+            (
+                "latency",
+                Value::obj([
+                    ("put_p50_us", Value::Num(if name == "raw" { 260.0 } else { 340.0 })),
+                    ("put_p99_us", Value::Num(if name == "raw" { 600.0 } else { 820.0 })),
+                    ("get_p50_us", Value::Num(if name == "raw" { 255.0 } else { 290.0 })),
+                    ("get_p99_us", Value::Num(if name == "raw" { 590.0 } else { 680.0 })),
+                    ("puts", Value::Num(1000.0)),
+                    ("gets", Value::Num(1000.0)),
+                ]),
+            ),
+        ])
+    }
+
+    fn stub_report(quick: bool, compressed_ratio: f64) -> Value {
+        let raw = 64.0 * 1024.0 * 1024.0;
+        Value::obj([
+            ("bench", Value::Str("tco".into())),
+            ("pr", Value::Num(10.0)),
+            ("quick", Value::Bool(quick)),
+            ("meta", Value::obj([("value_bytes", Value::Num(4096.0))])),
+            (
+                "configs",
+                Value::Arr(vec![
+                    stub_config("raw", raw),
+                    stub_config("compressed", raw * compressed_ratio),
+                    stub_config("dedup", raw * 8.0),
+                    stub_config("compressed+dedup", raw * 8.0),
+                ]),
+            ),
+            (
+                "summary",
+                Value::obj([
+                    ("compressed_capacity_ratio", Value::Num(compressed_ratio)),
+                    ("dedup_capacity_ratio", Value::Num(8.0)),
+                    ("both_capacity_ratio", Value::Num(8.0)),
+                    ("compressed_put_p99_ratio", Value::Num(820.0 / 600.0)),
+                    ("compressed_get_p99_ratio", Value::Num(680.0 / 590.0)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn validate_accepts_wellformed_reports() {
+        validate(&stub_report(true, 1.8)).unwrap();
+        validate(&stub_report(false, 1.8)).unwrap();
+    }
+
+    #[test]
+    fn full_mode_enforces_the_capacity_floor() {
+        // 1.1x effective capacity: fine as a quick structural check,
+        // rejected in full mode where the 1.5x floor applies.
+        validate(&stub_report(true, 1.1)).unwrap();
+        let err = validate(&stub_report(false, 1.1)).unwrap_err();
+        assert!(err.contains("acceptance floor"), "{err}");
+    }
+
+    #[test]
+    fn full_mode_enforces_the_p99_ceiling() {
+        let mut report = stub_report(false, 1.8);
+        if let Value::Obj(pairs) = &mut report {
+            for (k, v) in pairs.iter_mut() {
+                if k == "summary" {
+                    if let Value::Obj(inner) = v {
+                        for (ik, iv) in inner.iter_mut() {
+                            if ik == "compressed_put_p99_ratio" {
+                                *iv = Value::Num(PUT_P99_CEILING * 2.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = validate(&report).unwrap_err();
+        assert!(err.contains("ceiling"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_missing_and_inconsistent_fields() {
+        let mut missing_summary = stub_report(true, 1.8);
+        if let Value::Obj(pairs) = &mut missing_summary {
+            pairs.retain(|(k, _)| k != "summary");
+        }
+        assert!(validate(&missing_summary).is_err());
+
+        let mut three_configs = stub_report(true, 1.8);
+        if let Value::Obj(pairs) = &mut three_configs {
+            for (k, v) in pairs.iter_mut() {
+                if k == "configs" {
+                    if let Value::Arr(arr) = v {
+                        arr.pop();
+                    }
+                }
+            }
+        }
+        assert!(validate(&three_configs).is_err());
+
+        assert!(validate(&Value::Null).is_err());
+    }
+
+    /// The pool payload is genuinely compressible but not degenerate.
+    #[test]
+    fn pool_payload_is_moderately_compressible() {
+        let payload = pool_payload(0);
+        assert_eq!(payload.len(), VALUE_BYTES);
+        let compressed = tiera_codec::lzss::compress(&payload);
+        assert!(compressed.len() < payload.len(), "must compress");
+        assert!(
+            compressed.len() > payload.len() / 8,
+            "must not be degenerate: {} -> {}",
+            payload.len(),
+            compressed.len()
+        );
+        assert_ne!(pool_payload(0), pool_payload(1));
+        assert_eq!(pool_payload(3), pool_payload(3), "deterministic");
+    }
+
+    /// A micro run of the real harness: tiny tier, real wrappers —
+    /// exercises both measurement paths end to end and the capacity
+    /// ordering the floors rely on.
+    #[test]
+    fn micro_run_produces_a_schema_valid_report() {
+        let report = run(&Options { quick: true });
+        validate(&report).unwrap();
+        let summary = report.get("summary").unwrap();
+        let compressed = summary
+            .get("compressed_capacity_ratio")
+            .and_then(Value::as_num)
+            .unwrap();
+        assert!(compressed > 1.0, "compression must buy capacity: {compressed}");
+        let dedup = summary
+            .get("dedup_capacity_ratio")
+            .and_then(Value::as_num)
+            .unwrap();
+        assert!(dedup > 1.0, "dedup must buy capacity on the pooled workload: {dedup}");
+    }
+}

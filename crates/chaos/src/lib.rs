@@ -39,6 +39,7 @@ pub mod metastore_crash;
 pub mod node_schedule;
 pub mod scenario;
 pub mod schedule;
+pub mod wrapped;
 
 pub use cluster_scenario::{
     run_cluster, run_cluster_matrix, ClusterChaosConfig, ClusterChaosOutcome, ClusterScenarioKind,
@@ -48,3 +49,4 @@ pub use metastore_crash::{run_crash_case, run_crash_matrix, CrashCaseReport};
 pub use node_schedule::{NodeFaultAction, NodeFaultDriver, NodeFaultEvent, NodeFaultSchedule};
 pub use scenario::{ChaosConfig, ChaosOutcome, ScenarioKind};
 pub use schedule::{FaultEvent, FaultSchedule};
+pub use wrapped::run_wrapped;

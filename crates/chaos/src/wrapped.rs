@@ -1,0 +1,311 @@
+//! Chaos over payload-transforming tier wrappers.
+//!
+//! The plain scenarios ([`crate::scenario`]) prove the storage contract
+//! over raw tiers; this module re-runs the same shapes with the
+//! `tiera-tierx` wrappers in the data path — the cache tier transparently
+//! lzss-compressed, the durable tier behind the canonical
+//! dedup-over-compressed stack — and extends the invariant sweep with the
+//! wrapper-specific contract:
+//!
+//! 1. Everything the ledger already checks (no acked write lost, no
+//!    phantom metadata, aggregates == recount) must hold with the
+//!    transforms in the chain, including under injected tier faults.
+//! 2. **Refcounts never strand a live key's blob**:
+//!    [`DedupTier::check_integrity`] must come back clean after the run —
+//!    every mapped key's blob exists with a positive refcount, and every
+//!    blob's refcount equals its live key count.
+//! 3. The wrappers must have actually transformed data (the run is not
+//!    vacuous): the compressed cache reports a logical/physical split and
+//!    the dedup store reports unique blobs.
+//!
+//! The payload mix deliberately alternates compressible templates (which
+//! collapse under both lzss and dedup) with YCSB's incompressible
+//! `record_value` payloads (which exercise the per-object raw-fallback
+//! path), all derived from the scenario seed so runs replay byte for
+//! byte.
+
+use std::sync::Arc;
+
+use tiera_core::prelude::*;
+use tiera_sim::SimEnv;
+use tiera_support::Bytes;
+use tiera_tiers::{BlockTier, MemoryTier, ObjectStoreTier};
+use tiera_tierx::{CompressedTier, DedupTier};
+use tiera_workloads::dist::KeyChooser;
+use tiera_workloads::ycsb::{record_key, record_value};
+
+use crate::invariants::{InvariantReport, WriteLedger};
+use crate::scenario::{ChaosConfig, ChaosOutcome, ScenarioKind};
+use crate::schedule::FaultSchedule;
+
+/// A payload for `(key_idx, op)`: compressible-and-duplicated about half
+/// the time (template index folds the keyspace 8:1, so distinct keys
+/// share bytes), incompressible and unique otherwise.
+fn wrapped_value(key_idx: u64, op: u64, size: usize) -> Bytes {
+    if (key_idx ^ op) % 2 == 0 {
+        let template = key_idx % 8;
+        let phrase = format!("tiera wrapped-chaos template {template} ");
+        let mut out = Vec::with_capacity(size);
+        while out.len() < size {
+            let take = phrase.len().min(size - out.len());
+            out.extend_from_slice(&phrase.as_bytes()[..take]);
+        }
+        Bytes::from(out)
+    } else {
+        record_value(key_idx ^ op.wrapping_mul(0x9e37_79b9), size)
+    }
+}
+
+/// Runs one chaos scenario with the tierx wrappers in the data path.
+///
+/// Same contract as [`crate::scenario::run`]: a pure function of the
+/// config, reproducible from the seed alone.
+pub fn run_wrapped(cfg: &ChaosConfig) -> ChaosOutcome {
+    let env = SimEnv::new(cfg.seed);
+    // Raw tiers are kept for the fault injectors; the instance only ever
+    // sees the wrapped handles. Cache: compressed. Durable EBS: the
+    // canonical dedup-over-compressed stack. S3 stays raw and unfaulted
+    // (the failover target of last resort, as in the plain scenarios).
+    let mem = Arc::new(MemoryTier::same_az("memcached", 64 << 20, &env));
+    let ebs = Arc::new(BlockTier::ebs("ebs", 256 << 20, &env));
+    let s3 = Arc::new(ObjectStoreTier::s3("s3", 1 << 30, &env));
+    let mem_wrapped = CompressedTier::new(mem.clone());
+    let ebs_wrapped = DedupTier::new(CompressedTier::new(ebs.clone()));
+
+    let builder = InstanceBuilder::new("wrapped-chaos", env.clone())
+        .tier_handle(mem_wrapped.clone())
+        .tier_handle(ebs_wrapped.clone())
+        .tier(Arc::clone(&s3));
+    let builder = match cfg.kind {
+        ScenarioKind::WriteThrough => builder.rule(
+            Rule::on(EventKind::action(ActionOp::Put)).respond(ResponseSpec::store(
+                Selector::Inserted,
+                ["memcached", "ebs"],
+            )),
+        ),
+        ScenarioKind::WriteBack | ScenarioKind::OltpMix => builder
+            .rule(
+                Rule::on(EventKind::action(ActionOp::Put))
+                    .respond(ResponseSpec::store(Selector::Inserted, ["memcached"])),
+            )
+            .rule(
+                Rule::on(EventKind::timer(SimDuration::from_secs(30))).respond(
+                    ResponseSpec::copy(
+                        Selector::InTier("memcached".into()).and(Selector::Dirty),
+                        ["ebs"],
+                    ),
+                ),
+            ),
+    };
+    let instance = builder.build().expect("wrapped chaos instance builds");
+    instance.set_retry_policy(RetryPolicy::robust());
+
+    let schedule = FaultSchedule::random(cfg.seed, &["memcached", "ebs"], cfg.horizon);
+    let injectors = [("memcached", mem.failures()), ("ebs", ebs.failures())];
+    let injector_refs: Vec<(&str, &tiera_sim::FailureInjector)> = injectors
+        .iter()
+        .map(|(n, i)| (*n, i.as_ref() as &tiera_sim::FailureInjector))
+        .collect();
+    schedule.apply(&injector_refs);
+
+    let mut event_log: Vec<String> = schedule
+        .describe()
+        .lines()
+        .map(|l| l.trim_start().to_string())
+        .collect();
+
+    let mut ledger = WriteLedger::new();
+    let mut inline = InvariantReport::default();
+    let (mut issued, mut acked, mut failed, mut reads_ok, mut reads_failed) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+
+    let chooser = match cfg.kind {
+        ScenarioKind::OltpMix => KeyChooser::zipfian(cfg.records),
+        _ => KeyChooser::uniform(cfg.records),
+    };
+    let read_proportion = match cfg.kind {
+        ScenarioKind::OltpMix => 0.5,
+        _ => 0.25,
+    };
+    let mut rng = env.rng_for("wrapped-chaos-load");
+    let mut t = SimTime::ZERO;
+    for op in 0..cfg.ops {
+        let key_idx = chooser.next(&mut rng);
+        let key = record_key(key_idx);
+        if rng.chance(read_proportion) {
+            match instance.get(key.as_str(), t) {
+                Ok((data, receipt)) => {
+                    t += receipt.latency;
+                    reads_ok += 1;
+                    if !ledger.verify_read(&key, &data) {
+                        inline.violations.push(format!(
+                            "mid-run read of key={key} returned bytes outside the acknowledged set"
+                        ));
+                    }
+                }
+                Err(_) => {
+                    reads_failed += 1;
+                    t += SimDuration::from_millis(250);
+                }
+            }
+        } else {
+            let value = wrapped_value(key_idx, op, cfg.value_size);
+            issued += 1;
+            match instance.put(key.as_str(), value.clone(), t) {
+                Ok(r) => {
+                    t += r.latency;
+                    acked += 1;
+                    ledger.record_ack(&key, &value);
+                }
+                Err(_) => {
+                    failed += 1;
+                    ledger.record_failure(&key, &value);
+                    t += SimDuration::from_millis(250);
+                }
+            }
+        }
+        if op % 16 == 0 {
+            let _ = instance.pump(t);
+        }
+    }
+    event_log.push(format!(
+        "load-phase done: issued={issued} acked={acked} failed={failed} \
+         reads_ok={reads_ok} reads_failed={reads_failed} t={:.3}s",
+        t.as_secs_f64()
+    ));
+
+    // ---- quiesce: clear the fault plane, let deadlines and queues drain.
+    schedule.clear(&injector_refs);
+    if let Some(clears) = schedule.clears_by() {
+        if t < clears {
+            t = clears;
+        }
+    }
+    t += SimDuration::from_secs(1);
+    let mut drain_rounds = 0u32;
+    loop {
+        t += SimDuration::from_secs(31);
+        let _ = instance.pump(t);
+        let dirty = instance.registry().select(&Selector::Dirty, None, t);
+        if instance.background_depth() == 0 && dirty.is_empty() {
+            break;
+        }
+        drain_rounds += 1;
+        if drain_rounds > 64 {
+            event_log.push(format!(
+                "quiesce stalled: background_depth={} dirty={}",
+                instance.background_depth(),
+                dirty.len()
+            ));
+            break;
+        }
+    }
+    event_log.push(format!("quiesced after {drain_rounds} extra round(s)"));
+
+    // ---- steady-state probe through the wrappers.
+    let mut recovered = true;
+    for i in 0..20u64 {
+        let key = format!("recovery-{i}");
+        let value = wrapped_value(1_000_000 + i, i, cfg.value_size);
+        match instance.put(key.as_str(), value.clone(), t) {
+            Ok(r) => {
+                t += r.latency;
+                ledger.record_ack(&key, &value);
+            }
+            Err(e) => {
+                recovered = false;
+                event_log.push(format!("recovery put {key} failed: {e}"));
+            }
+        }
+        match instance.get(key.as_str(), t) {
+            Ok((data, receipt)) => {
+                t += receipt.latency;
+                if !ledger.verify_read(&key, &data) {
+                    recovered = false;
+                    event_log.push(format!("recovery read {key} returned wrong bytes"));
+                }
+            }
+            Err(e) => {
+                recovered = false;
+                event_log.push(format!("recovery get {key} failed: {e}"));
+            }
+        }
+    }
+    let _ = instance.pump(t + SimDuration::from_secs(31));
+    event_log.push(format!("recovery probe: recovered={recovered}"));
+
+    // ---- invariants: the ledger sweep plus the wrapper contract.
+    let mut invariants = ledger.check(&instance, t, true);
+    invariants.merge(inline);
+    for problem in ebs_wrapped.check_integrity() {
+        invariants
+            .violations
+            .push(format!("dedup integrity (ebs): {problem}"));
+    }
+    let cache = mem_wrapped
+        .capacity_profile()
+        .unwrap_or_default();
+    let store = ebs_wrapped
+        .capacity_profile()
+        .unwrap_or_default();
+    if cache.objects > 0 && cache.objects == cache.raw_fallback_objects {
+        invariants.violations.push(
+            "compressed cache never compressed anything — payload mix is broken".into(),
+        );
+    }
+    if store.objects > 0 && store.unique_blobs == 0 {
+        invariants
+            .violations
+            .push("dedup store holds keys but no blobs".into());
+    }
+    event_log.push(format!(
+        "wrapper profiles: cache logical={} physical={} raw_fallback={} | \
+         store blobs={} dedup_hits={}",
+        cache.logical_bytes,
+        cache.physical_bytes,
+        cache.raw_fallback_objects,
+        store.unique_blobs,
+        store.dedup_hits
+    ));
+    let alerts = instance.alerts_emitted();
+    event_log.push(format!(
+        "invariants: {} violation(s); alerts={alerts}",
+        invariants.violations.len()
+    ));
+
+    ChaosOutcome {
+        seed: cfg.seed,
+        kind: cfg.kind,
+        writes_issued: issued,
+        writes_acked: acked,
+        writes_failed: failed,
+        reads_ok,
+        reads_failed,
+        alerts,
+        monitor_signals: 0,
+        recovered,
+        invariants,
+        event_log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compressible_template_actually_compresses_and_duplicates() {
+        let a = wrapped_value(0, 0, 1024);
+        let b = wrapped_value(8, 2, 1024); // same template (8 % 8 == 0), even parity
+        assert_eq!(a.as_slice(), b.as_slice(), "templates fold the keyspace 8:1");
+        let compressed = tiera_codec::lzss::compress(a.as_slice());
+        assert!(compressed.len() < a.len() / 2, "template must be compressible");
+    }
+
+    #[test]
+    fn incompressible_arm_differs_per_op() {
+        let a = wrapped_value(1, 2, 256); // (1 ^ 2) % 2 == 1 -> record_value
+        let b = wrapped_value(1, 4, 256);
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+}

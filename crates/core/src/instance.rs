@@ -407,6 +407,33 @@ impl Instance {
         self.tiers.read().iter().map(|t| t.name().to_string()).collect()
     }
 
+    /// Per-tier logical-vs-physical capacity accounting, for tiers that
+    /// transform payloads (compressed / content-addressed wrappers from
+    /// `tiera-tierx`). Plain tiers are omitted.
+    pub fn capacity_profiles(&self) -> Vec<(String, crate::tier::CapacityProfile)> {
+        self.tiers
+            .read()
+            .iter()
+            .filter_map(|t| t.capacity_profile().map(|p| (t.name().to_string(), p)))
+            .collect()
+    }
+
+    /// Instance-wide roll-up of [`Self::capacity_profiles`]: sums byte and
+    /// object counters across wrapped tiers (the refcount histogram is
+    /// per-tier and not merged).
+    pub fn capacity_summary(&self) -> crate::tier::CapacityProfile {
+        let mut sum = crate::tier::CapacityProfile::default();
+        for (_, p) in self.capacity_profiles() {
+            sum.logical_bytes += p.logical_bytes;
+            sum.physical_bytes += p.physical_bytes;
+            sum.objects += p.objects;
+            sum.raw_fallback_objects += p.raw_fallback_objects;
+            sum.dedup_hits += p.dedup_hits;
+            sum.unique_blobs += p.unique_blobs;
+        }
+        sum
+    }
+
     /// Handle to a tier by name.
     pub fn tier(&self, name: &str) -> Result<TierHandle> {
         self.tiers

@@ -90,7 +90,7 @@ pub mod prelude {
     pub use crate::response::{EvictOrder, Guard, ResponseSpec};
     pub use crate::retry::{FailureAlert, RetryPolicy};
     pub use crate::selector::Selector;
-    pub use crate::tier::{MemTier, OpReceipt, Tier, TierHandle, TierTraits};
+    pub use crate::tier::{CapacityProfile, MemTier, OpReceipt, Tier, TierHandle, TierTraits};
     pub use tiera_sim::{SimDuration, SimTime};
 }
 

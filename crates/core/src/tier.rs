@@ -76,6 +76,51 @@ pub struct RequestCounts {
     pub gets: u64,
 }
 
+/// Logical-vs-physical capacity accounting for tiers that transform
+/// payloads (compression, content-addressed dedup). Plain tiers store
+/// bytes verbatim and report `None` from [`Tier::capacity_profile`];
+/// wrapper tiers (`tiera-tierx`) report how many logical bytes they are
+/// presenting on top of how many physical bytes the backing tier holds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CapacityProfile {
+    /// Bytes the tier's clients have stored (pre-transform).
+    pub logical_bytes: u64,
+    /// Bytes physically occupied in the backing store (post-transform).
+    pub physical_bytes: u64,
+    /// Live objects (client keys) the tier is presenting.
+    pub objects: u64,
+    /// Objects stored raw because compression would have expanded them.
+    pub raw_fallback_objects: u64,
+    /// Puts answered by an existing content-addressed blob (no new
+    /// physical write).
+    pub dedup_hits: u64,
+    /// Distinct refcounted blobs in the content-addressed store.
+    pub unique_blobs: u64,
+    /// `(refcount, blobs with that refcount)`, ascending by refcount.
+    pub refcount_histogram: Vec<(u64, u64)>,
+}
+
+impl CapacityProfile {
+    /// Logical bytes per physical byte (`1.0` when nothing is stored).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.physical_bytes == 0 {
+            1.0
+        } else {
+            self.logical_bytes as f64 / self.physical_bytes as f64
+        }
+    }
+
+    /// Fraction of puts absorbed by an existing blob.
+    pub fn dedup_hit_rate(&self) -> f64 {
+        let total = self.dedup_hits + self.unique_blobs;
+        if total == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / total as f64
+        }
+    }
+}
+
 /// The prescribed interface every storage tier implements.
 ///
 /// All methods take the caller's current virtual time `now` so the tier can
@@ -135,6 +180,12 @@ pub trait Tier: Send + Sync {
     /// Whether storing `bytes` more would exceed capacity at `now`.
     fn would_overflow(&self, bytes: u64, now: SimTime) -> bool {
         self.used() + bytes > self.capacity(now)
+    }
+
+    /// Logical-vs-physical accounting for payload-transforming tiers.
+    /// Plain tiers store bytes verbatim, so the default is `None`.
+    fn capacity_profile(&self) -> Option<CapacityProfile> {
+        None
     }
 }
 

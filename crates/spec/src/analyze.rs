@@ -24,6 +24,9 @@
 //! | T010 | stores into a volatile tier with no copy/move path to a durable one |
 //! | T011 | declared formal parameter never used |
 //! | T012 | unknown response name |
+//! | T013 | `compress` attribute on an already-compressed/dedup'd tier |
+//! | T014 | `dedup` blob store on a volatile tier with no durable copy path |
+//! | T015 | tier attribute with an unknown name or invalid parameter |
 //!
 //! Analysis is deterministic: findings come out in spec walk order, then
 //! whole-spec checks in declaration order, so re-analyzing a printed and
@@ -52,6 +55,10 @@ pub const KNOWN_RESPONSES: &[&str] = &[
     "grow",
     "shrink",
 ];
+
+/// Tier wrapper attributes and their supported parameters (keep in sync
+/// with `Compiler::wrap_tier` and the `tiera-tierx` wrappers).
+pub const TIER_ATTRS: &[(&str, &[&str])] = &[("compress", &["lzss"]), ("dedup", &["sha256"])];
 
 /// Analyzes a spec with the default tier-durability profile (the paper's
 /// catalog: `Memcached`/`MemcachedRemote`/`EphemeralStorage` volatile,
@@ -110,6 +117,7 @@ impl Analyzer {
         pass.check_movement_cycles();
         pass.check_writeback_capacity();
         pass.check_volatility_leaks();
+        pass.check_dedup_volatile();
         Analysis::new(pass.diags)
     }
 
@@ -130,6 +138,7 @@ impl Analyzer {
                 label: label.clone(),
                 type_name: String::new(),
                 size: Quantity::Int(0),
+                attrs: Vec::new(),
                 line: 0,
             })
             .collect();
@@ -288,6 +297,85 @@ impl<'a> Pass<'a> {
                         tier.line,
                         format!("tier `{}` size expects a byte size, found {desc}", tier.label),
                     ));
+                }
+            }
+            self.check_tier_attrs(tier);
+        }
+    }
+
+    /// Validates wrapper attributes on one tier declaration (T013/T015).
+    fn check_tier_attrs(&mut self, tier: &TierDecl) {
+        for (i, attr) in tier.attrs.iter().enumerate() {
+            match TIER_ATTRS.iter().find(|(name, _)| *name == attr.name) {
+                None => {
+                    self.push(
+                        Diagnostic::new(
+                            LintCode::BadTierAttribute,
+                            attr.line,
+                            format!(
+                                "unknown attribute `{}` on tier `{}`",
+                                attr.name, tier.label
+                            ),
+                        )
+                        .note("valid attributes: `compress: lzss`, `dedup: sha256`"),
+                    );
+                }
+                Some((_, values)) if !values.contains(&attr.value.as_str()) => {
+                    self.push(
+                        Diagnostic::new(
+                            LintCode::BadTierAttribute,
+                            attr.line,
+                            format!(
+                                "invalid parameter `{}` for attribute `{}` on tier `{}`",
+                                attr.value, attr.name, tier.label
+                            ),
+                        )
+                        .note(format!(
+                            "supported: {}",
+                            values
+                                .iter()
+                                .map(|v| format!("`{v}`"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )),
+                    );
+                }
+                Some(_) => {
+                    // A second transform of the same shape — or `compress`
+                    // after `dedup`, which would compress content-addressed
+                    // blobs instead of payloads — is redundant (T013). The
+                    // canonical combination is `compress` then `dedup`.
+                    let earlier = &tier.attrs[..i];
+                    let redundant_after = match attr.name.as_str() {
+                        "compress" => earlier
+                            .iter()
+                            .find(|a| a.name == "compress" || a.name == "dedup"),
+                        "dedup" => earlier.iter().find(|a| a.name == "dedup"),
+                        _ => None,
+                    };
+                    if let Some(prior) = redundant_after {
+                        self.push(
+                            Diagnostic::new(
+                                LintCode::CompressRedundant,
+                                attr.line,
+                                format!(
+                                    "`{}` on tier `{}` which is already {} by `{}`",
+                                    attr.name,
+                                    tier.label,
+                                    if prior.name == "dedup" {
+                                        "content-addressed"
+                                    } else {
+                                        "compressed"
+                                    },
+                                    prior.name
+                                ),
+                            )
+                            .note(
+                                "declare `compress` before `dedup`; the compiler always \
+                                 builds the canonical dedup-over-compressed stack",
+                            ),
+                        );
+                    }
                 }
             }
         }
@@ -754,6 +842,62 @@ impl<'a> Pass<'a> {
         }
         self.diags.extend(findings);
     }
+
+    /// T014: a `dedup` tier's refcounted blob store must not live only in
+    /// volatile storage — a failure would strand every live key. Satisfied
+    /// by the tier being durable, a copy/move path from it to a durable
+    /// tier, or a location-free write-back into a durable tier (the same
+    /// escape hatches as T010).
+    fn check_dedup_volatile(&mut self) {
+        if self.global_writeback.iter().any(|t| self.is_durable(t)) {
+            return;
+        }
+        let mut findings = Vec::new();
+        for tier in &self.tiers {
+            let Some(attr) = tier.attrs.iter().find(|a| a.name == "dedup") else {
+                continue;
+            };
+            if !self.is_volatile(&tier.label) {
+                continue;
+            }
+            let mut frontier = vec![tier.label.clone()];
+            let mut seen = BTreeSet::new();
+            let mut safe = false;
+            while let Some(t) = frontier.pop() {
+                if !seen.insert(t.clone()) {
+                    continue;
+                }
+                if self.is_durable(&t) {
+                    safe = true;
+                    break;
+                }
+                for e in &self.edges {
+                    if e.from == t {
+                        frontier.push(e.to.clone());
+                    }
+                }
+            }
+            if !safe {
+                findings.push(
+                    Diagnostic::new(
+                        LintCode::DedupVolatile,
+                        attr.line,
+                        format!(
+                            "dedup blob store on volatile tier `{}` has no copy or \
+                             move path to a durable tier",
+                            tier.label
+                        ),
+                    )
+                    .note(format!(
+                        "blobs and refcounts in `{}` are lost on failure; dedup a \
+                         durable tier or add a write-back rule",
+                        tier.label
+                    )),
+                );
+            }
+        }
+        self.diags.extend(findings);
+    }
 }
 
 /// Range discipline for percentage literals, by position.
@@ -1047,6 +1191,121 @@ Tiera X(time t) {
 }
 "#;
         assert!(codes(global).is_empty(), "{:?}", codes(global));
+    }
+
+    #[test]
+    fn tier_attrs_valid_combination_is_clean() {
+        let src = r#"
+Tiera X() {
+    tier1: { name: EBS, size: 64M, compress: lzss, dedup: sha256 };
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+}
+"#;
+        assert!(codes(src).is_empty(), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn redundant_transforms_warn_t013() {
+        // compress after dedup: wrong order.
+        let reversed = r#"
+Tiera X() {
+    tier1: { name: EBS, size: 64M, dedup: sha256, compress: lzss };
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+}
+"#;
+        assert_eq!(codes(reversed), vec![("T013", Severity::Warning)]);
+
+        // Literal duplicates of either attribute.
+        for dup in ["compress: lzss, compress: lzss", "dedup: sha256, dedup: sha256"] {
+            let src = format!(
+                r#"
+Tiera X() {{
+    tier1: {{ name: EBS, size: 64M, {dup} }};
+    event(insert.into) : response {{
+        store(what: insert.object, to: tier1);
+    }}
+}}
+"#
+            );
+            assert_eq!(codes(&src), vec![("T013", Severity::Warning)], "{dup}");
+        }
+    }
+
+    #[test]
+    fn dedup_on_volatile_tier_warns_t014_unless_written_back() {
+        let stranded = r#"
+Tiera X() {
+    tier1: { name: EBS, size: 64M };
+    tier2: { name: Memcached, size: 32M, dedup: sha256 };
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+    event(tier2.filled == 75%) : response {
+        grow(what: tier2, increment: 50%);
+    }
+}
+"#;
+        assert_eq!(codes(stranded), vec![("T014", Severity::Warning)]);
+
+        // A copy path from the dedup'd tier to a durable one clears it
+        // (and T010 for the store).
+        let written_back = r#"
+Tiera X(time t) {
+    tier1: { name: EBS, size: 64M };
+    tier2: { name: Memcached, size: 32M, dedup: sha256 };
+    event(insert.into) : response {
+        store(what: insert.object, to: tier2);
+    }
+    event(time=t) : response {
+        copy(what: object.location == tier2, to: tier1);
+    }
+}
+"#;
+        assert!(codes(written_back).is_empty(), "{:?}", codes(written_back));
+
+        // Dedup on a durable tier was never a problem.
+        let durable = r#"
+Tiera X() {
+    tier1: { name: EBS, size: 64M, dedup: sha256 };
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+}
+"#;
+        assert!(codes(durable).is_empty(), "{:?}", codes(durable));
+    }
+
+    #[test]
+    fn bad_tier_attributes_error_t015() {
+        // Unknown attribute name.
+        let unknown = r#"
+Tiera X() {
+    tier1: { name: EBS, size: 64M, shiny: yes };
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+}
+"#;
+        assert_eq!(codes(unknown), vec![("T015", Severity::Error)]);
+
+        // Known attribute, unsupported parameter.
+        for bad in ["compress: gzip", "dedup: md5"] {
+            let src = format!(
+                r#"
+Tiera X() {{
+    tier1: {{ name: EBS, size: 64M, {bad} }};
+    event(insert.into) : response {{
+        store(what: insert.object, to: tier1);
+    }}
+}}
+"#
+            );
+            assert_eq!(codes(&src), vec![("T015", Severity::Error)], "{bad}");
+        }
     }
 
     #[test]

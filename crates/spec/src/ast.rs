@@ -35,7 +35,7 @@ pub enum ParamKind {
     Percent,
 }
 
-/// `tier1: { name: Memcached, size: 5G };`
+/// `tier1: { name: Memcached, size: 5G, compress: lzss };`
 #[derive(Debug, Clone, PartialEq)]
 pub struct TierDecl {
     /// Label within the instance (`tier1`).
@@ -44,6 +44,21 @@ pub struct TierDecl {
     pub type_name: String,
     /// Initial capacity in bytes.
     pub size: Quantity,
+    /// Wrapper attributes after `size` (`compress: lzss`, `dedup:
+    /// sha256`), in declaration order. Validated by lints T013–T015 and
+    /// compiled into `tiera-tierx` wrapper construction.
+    pub attrs: Vec<TierAttr>,
+    /// Source line (for diagnostics).
+    pub line: u32,
+}
+
+/// One `attr: value` pair in a tier declaration's braces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierAttr {
+    /// Attribute name (`compress`, `dedup`).
+    pub name: String,
+    /// Attribute parameter (`lzss`, `sha256`).
+    pub value: String,
     /// Source line (for diagnostics).
     pub line: u32,
 }

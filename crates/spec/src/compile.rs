@@ -26,6 +26,7 @@ use tiera_core::object::Tag;
 use tiera_core::policy::Rule;
 use tiera_core::response::{EvictOrder, Guard, ResponseSpec};
 use tiera_core::selector::Selector;
+use tiera_core::tier::TierHandle;
 use tiera_core::InstanceBuilder;
 use tiera_sim::bandwidth::BandwidthCap;
 use tiera_sim::{SimDuration, SimEnv};
@@ -116,7 +117,7 @@ impl<'a> Compiler<'a> {
                 .catalog
                 .create(&tier.type_name, &tier.label, size)
                 .map_err(|e| SpecError::new(0, e.to_string()))?;
-            builder = builder.tier_handle(handle);
+            builder = builder.tier_handle(wrap_tier(handle, &tier.attrs)?);
         }
         for event in &spec.events {
             builder = builder.rule(self.compile_event(event)?);
@@ -456,6 +457,37 @@ fn analysis_error(diag: &Diagnostic) -> SpecError {
     SpecError::new(diag.line, format!("[{}] {}", diag.code, diag.message))
 }
 
+/// Applies wrapper attributes to a freshly created tier handle. The
+/// analyzer has already rejected unknown attributes and parameters
+/// (T015) and warned about redundant combinations (T013); duplicates
+/// collapse to a single application. Whatever the declaration order, the
+/// constructed stack is canonical — `Dedup(Compressed(inner))`, dedup
+/// outermost — matching the `tiera-tierx` lock ranks.
+fn wrap_tier(handle: TierHandle, attrs: &[TierAttr]) -> Result<TierHandle, SpecError> {
+    let mut compress = false;
+    let mut dedup = false;
+    for attr in attrs {
+        match attr.name.as_str() {
+            "compress" => compress = true,
+            "dedup" => dedup = true,
+            other => {
+                return Err(SpecError::new(
+                    attr.line,
+                    format!("unknown tier attribute `{other}`"),
+                ))
+            }
+        }
+    }
+    let mut handle = handle;
+    if compress {
+        handle = tiera_tierx::CompressedTier::new(handle);
+    }
+    if dedup {
+        handle = tiera_tierx::DedupTier::new(handle);
+    }
+    Ok(handle)
+}
+
 fn lower_selector(expr: &SelectorExpr) -> Selector {
     match expr {
         SelectorExpr::InsertObject => Selector::Inserted,
@@ -579,6 +611,113 @@ Tiera Lru() {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn compress_attribute_builds_a_transparent_compressed_tier() {
+        use tiera_sim::SimTime;
+        let src = r#"
+Tiera Zip() {
+    tier1: { name: EBS, size: 1M, compress: lzss };
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+}
+"#;
+        let catalog = mem_catalog();
+        let (inst, warnings) = Compiler::new(&catalog, SimEnv::new(5))
+            .compile_checked(&parse(src).unwrap())
+            .unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
+
+        let payload = b"tier tier tier tier tier tier tier tier".repeat(64);
+        inst.put("k", payload.clone(), SimTime::ZERO).unwrap();
+        let (read, _) = inst.get("k", SimTime::ZERO).unwrap();
+        assert_eq!(read.as_slice(), &payload[..], "reads are byte-identical");
+
+        let profiles = inst.capacity_profiles();
+        assert_eq!(profiles.len(), 1);
+        let (name, p) = &profiles[0];
+        assert_eq!(name, "tier1");
+        assert_eq!(p.logical_bytes, payload.len() as u64);
+        assert!(
+            p.physical_bytes < p.logical_bytes,
+            "physical {} < logical {}",
+            p.physical_bytes,
+            p.logical_bytes
+        );
+        assert!(inst.capacity_summary().logical_bytes > 0);
+    }
+
+    #[test]
+    fn dedup_attribute_builds_a_refcounted_blob_store() {
+        use tiera_sim::SimTime;
+        let src = r#"
+Tiera Cas() {
+    tier1: { name: EBS, size: 1M, dedup: sha256 };
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+}
+"#;
+        let catalog = mem_catalog();
+        let inst = Compiler::new(&catalog, SimEnv::new(5))
+            .compile(&parse(src).unwrap())
+            .unwrap();
+
+        let payload = vec![7u8; 4096];
+        inst.put("a", payload.clone(), SimTime::ZERO).unwrap();
+        inst.put("b", payload.clone(), SimTime::ZERO).unwrap();
+        let tier = inst.tier("tier1").unwrap();
+        let p = tier.capacity_profile().unwrap();
+        assert_eq!(p.unique_blobs, 1, "identical payloads share one blob");
+        assert_eq!(p.dedup_hits, 1);
+        assert_eq!(p.logical_bytes, 8192);
+        assert_eq!(tier.used(), 4096);
+
+        // Deletes reclaim only at refcount zero.
+        inst.delete("a", SimTime::ZERO).unwrap();
+        assert_eq!(tier.used(), 4096);
+        let (read, _) = inst.get("b", SimTime::ZERO).unwrap();
+        assert_eq!(read.as_slice(), &payload[..]);
+        inst.delete("b", SimTime::ZERO).unwrap();
+        assert_eq!(tier.used(), 0, "last delete reclaims the blob");
+    }
+
+    #[test]
+    fn compress_and_dedup_stack_canonically_whatever_the_spec_order() {
+        use tiera_sim::SimTime;
+        // `dedup` before `compress` draws the T013 warning but still
+        // compiles to the canonical dedup-over-compressed stack.
+        let src = r#"
+Tiera Both() {
+    tier1: { name: EBS, size: 1M, dedup: sha256, compress: lzss };
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+}
+"#;
+        let catalog = mem_catalog();
+        let (inst, warnings) = Compiler::new(&catalog, SimEnv::new(5))
+            .compile_checked(&parse(src).unwrap())
+            .unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].code.code(), "T013");
+
+        let payload = b"abcabcabcabc".repeat(256);
+        inst.put("x", payload.clone(), SimTime::ZERO).unwrap();
+        inst.put("y", payload.clone(), SimTime::ZERO).unwrap();
+        let p = inst.tier("tier1").unwrap().capacity_profile().unwrap();
+        assert_eq!(p.unique_blobs, 1);
+        assert_eq!(p.dedup_hits, 1);
+        assert!(
+            p.physical_bytes < p.logical_bytes / 4,
+            "dedup and compression both applied: physical {} logical {}",
+            p.physical_bytes,
+            p.logical_bytes
+        );
+        let (read, _) = inst.get("y", SimTime::ZERO).unwrap();
+        assert_eq!(read.as_slice(), &payload[..]);
     }
 
     #[test]

@@ -66,11 +66,19 @@ pub enum LintCode {
     UnusedParam,
     /// T012 — unknown response name.
     UnknownResponse,
+    /// T013 — redundant capacity transform: `compress` on a tier that is
+    /// already compressed or content-addressed.
+    CompressRedundant,
+    /// T014 — `dedup` on a volatile tier with no durable copy path for
+    /// the blob store.
+    DedupVolatile,
+    /// T015 — tier attribute with an unknown name or invalid parameter.
+    BadTierAttribute,
 }
 
 impl LintCode {
     /// Every code, in numeric order.
-    pub const ALL: [LintCode; 12] = [
+    pub const ALL: [LintCode; 15] = [
         LintCode::UndefinedTier,
         LintCode::DuplicateDecl,
         LintCode::UntargetedTier,
@@ -83,6 +91,9 @@ impl LintCode {
         LintCode::VolatilityLeak,
         LintCode::UnusedParam,
         LintCode::UnknownResponse,
+        LintCode::CompressRedundant,
+        LintCode::DedupVolatile,
+        LintCode::BadTierAttribute,
     ];
 
     /// The stable `T0xx` code string.
@@ -100,6 +111,9 @@ impl LintCode {
             LintCode::VolatilityLeak => "T010",
             LintCode::UnusedParam => "T011",
             LintCode::UnknownResponse => "T012",
+            LintCode::CompressRedundant => "T013",
+            LintCode::DedupVolatile => "T014",
+            LintCode::BadTierAttribute => "T015",
         }
     }
 
@@ -118,6 +132,9 @@ impl LintCode {
             LintCode::VolatilityLeak => "dirty data in a volatile tier with no write-back",
             LintCode::UnusedParam => "formal parameter declared but never used",
             LintCode::UnknownResponse => "unknown response name",
+            LintCode::CompressRedundant => "compress on an already-compressed or dedup'd tier",
+            LintCode::DedupVolatile => "dedup blob store on a volatile tier with no write-back",
+            LintCode::BadTierAttribute => "tier attribute with an unknown name or parameter",
         }
     }
 
@@ -130,13 +147,16 @@ impl LintCode {
             | LintCode::TypeMismatch
             | LintCode::PercentRange
             | LintCode::ZeroTimer
-            | LintCode::UnknownResponse => Severity::Error,
+            | LintCode::UnknownResponse
+            | LintCode::BadTierAttribute => Severity::Error,
             LintCode::DuplicateDecl
             | LintCode::UntargetedTier
             | LintCode::MovementCycle
             | LintCode::WritebackCapacity
             | LintCode::VolatilityLeak
-            | LintCode::UnusedParam => Severity::Warning,
+            | LintCode::UnusedParam
+            | LintCode::CompressRedundant
+            | LintCode::DedupVolatile => Severity::Warning,
         }
     }
 }

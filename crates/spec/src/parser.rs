@@ -159,7 +159,8 @@ impl Parser {
         Ok(Param { kind, name })
     }
 
-    // tier_decl := IDENT ":" "{" "name" ":" IDENT "," "size" ":" qty "}" ";"
+    // tier_decl := IDENT ":" "{" "name" ":" IDENT "," "size" ":" qty
+    //              ("," IDENT ":" IDENT)* "}" ";"
     fn tier_decl(&mut self) -> Result<TierDecl, SpecError> {
         let line = self.line();
         let label = self.ident()?;
@@ -172,12 +173,28 @@ impl Parser {
         self.keyword("size")?;
         self.expect(&TokenKind::Colon)?;
         let size = self.quantity()?;
+        // Optional wrapper attributes (`compress: lzss`, `dedup: sha256`).
+        // The parser stays liberal — any `ident: ident` pair is accepted;
+        // the analyzer's T013–T015 judge names and values.
+        let mut attrs = Vec::new();
+        while self.eat(&TokenKind::Comma) {
+            let attr_line = self.line();
+            let name = self.ident()?;
+            self.expect(&TokenKind::Colon)?;
+            let value = self.ident()?;
+            attrs.push(TierAttr {
+                name,
+                value,
+                line: attr_line,
+            });
+        }
         self.expect(&TokenKind::RBrace)?;
         self.expect(&TokenKind::Semi)?;
         Ok(TierDecl {
             label,
             type_name,
             size,
+            attrs,
             line,
         })
     }

@@ -26,8 +26,13 @@ pub fn print_spec(spec: &Spec) -> String {
     }
     out.push_str(") {\n");
     for tier in &spec.tiers {
+        let attrs: String = tier
+            .attrs
+            .iter()
+            .map(|a| format!(", {}: {}", a.name, a.value))
+            .collect();
         out.push_str(&format!(
-            "    {}: {{ name: {}, size: {} }};\n",
+            "    {}: {{ name: {}, size: {}{attrs} }};\n",
             tier.label,
             tier.type_name,
             print_quantity(&tier.size)
@@ -300,6 +305,17 @@ Tiera LowLatencyInstance(time t) {
         }
     }
 
+    /// Zero to two wrapper attributes, including invalid names/values —
+    /// the printer must round-trip whatever the parser accepts, not just
+    /// what the analyzer blesses.
+    fn arb_attrs(rng: &mut SimRng) -> Vec<TierAttr> {
+        gen::vec_of(rng, 0..3, |rng| TierAttr {
+            name: gen::pick(rng, &["compress", "dedup", "shiny"]).to_string(),
+            value: gen::pick(rng, &["lzss", "sha256", "fast"]).to_string(),
+            line: 0,
+        })
+    }
+
     fn arb_spec(rng: &mut SimRng) -> Spec {
         let mut name = gen::string_of(rng, "ABCDEFGHIJKLMNOPQRSTUVWXYZ", 1..2);
         name.push_str(&gen::string_of(
@@ -318,6 +334,7 @@ Tiera LowLatencyInstance(time t) {
                     Quantity::Size(n) => Quantity::Size(n),
                     _ => Quantity::Size(1024 * 1024),
                 },
+                attrs: arb_attrs(rng),
                 line: 0,
             })
             .collect();
@@ -362,6 +379,9 @@ Tiera LowLatencyInstance(time t) {
     fn strip_lines(mut spec: Spec) -> Spec {
         for t in &mut spec.tiers {
             t.line = 0;
+            for a in &mut t.attrs {
+                a.line = 0;
+            }
         }
         for e in &mut spec.events {
             e.line = 0;

@@ -132,6 +132,16 @@ pub mod rank {
     /// A metastore shard's read index (`RwLock`; readers never touch the
     /// commit or queue locks).
     pub const METASTORE_INDEX: u16 = 62;
+    /// `DedupTier` wrapper state (key→digest map, refcounted blob table).
+    /// Held across inner-tier IO by design, so it must rank below every
+    /// inner tier lock (`SIMTIER_*`, `MEMTIER_*`) *and* below
+    /// `TIERX_COMPRESS`: the canonical wrapper stack is
+    /// `Dedup(Compressed(inner))`, dedup outermost.
+    pub const TIERX_DEDUP: u16 = 64;
+    /// `CompressedTier` wrapper state (per-key logical/physical byte
+    /// ledger). Held across inner-tier IO; ranks above `TIERX_DEDUP`
+    /// (compress is the inner wrapper) and below the tier locks proper.
+    pub const TIERX_COMPRESS: u16 = 66;
     /// Simulated tier: last observed capacity (reshard detection).
     pub const SIMTIER_LAST_SEEN: u16 = 74;
     /// Simulated tier: latency-model RNG.
@@ -185,6 +195,8 @@ pub mod rank {
         ("metastore.commit", METASTORE_COMMIT),
         ("metastore.queue", METASTORE_QUEUE),
         ("metastore.index", METASTORE_INDEX),
+        ("tierx.dedup", TIERX_DEDUP),
+        ("tierx.compress", TIERX_COMPRESS),
         ("simtier.last_seen", SIMTIER_LAST_SEEN),
         ("simtier.rng", SIMTIER_RNG),
         ("simtier.state", SIMTIER_STATE),

@@ -129,9 +129,9 @@ fn no_external_dependencies_anywhere() {
         manifests.push(path);
     }
     assert!(
-        manifests.len() >= 17,
-        "expected the workspace root and 16+ member manifests (including \
-         crates/cluster), found {}",
+        manifests.len() >= 18,
+        "expected the workspace root and 17+ member manifests (including \
+         crates/tierx), found {}",
         manifests.len()
     );
 

@@ -40,7 +40,7 @@ echo "==> tiera-bench hotpath ${MODE:-(full)} --out $OUT"
 echo "==> tiera-bench check $OUT (schema gate)"
 ./target/release/tiera-bench check "$OUT"
 
-for committed in BENCH_pr3.json BENCH_pr6.json BENCH_pr8.json BENCH_pr9.json; do
+for committed in BENCH_pr3.json BENCH_pr6.json BENCH_pr8.json BENCH_pr9.json BENCH_pr10.json; do
     if [[ -f "$committed" ]]; then
         echo "==> tiera-bench check $committed (committed report stays valid)"
         ./target/release/tiera-bench check "$committed"

@@ -28,7 +28,7 @@ cargo run -q --release --offline --bin tiera-analyze -- --deny-warnings --quiet 
 
 echo "==> lockcheck tests (runtime lock-order sanitizer enabled)"
 cargo test --offline -q -p tiera-support -p tiera-core -p tiera-rpc -p tiera-chaos \
-    -p tiera-metastore -p tiera-cluster --features tiera-support/lockcheck
+    -p tiera-metastore -p tiera-cluster -p tiera-tierx --features tiera-support/lockcheck
 
 echo "==> bench smoke (quick mode; schema only, no timing assertions)"
 ./scripts/bench.sh
@@ -47,10 +47,16 @@ echo "==> metastore smoke (quick mode; schema only, no timing assertions)"
 ./target/release/tiera-bench metastore --quick --out "$META_OUT"
 ./target/release/tiera-bench check "$META_OUT"
 
+echo "==> tco smoke (quick mode; wrapper capacity/latency harness, schema only)"
+TCO_OUT="$(mktemp -t tiera-tco-XXXXXX.json)"
+trap 'rm -f "$CHAOS_OUT" "$META_OUT" "$TCO_OUT"' EXIT
+./target/release/tiera-bench tco --quick --out "$TCO_OUT"
+./target/release/tiera-bench check "$TCO_OUT"
+
 echo "==> cluster smoke (quick mode; 3-node routed throughput, schema only)"
 CLUSTER_OUT="$(mktemp -t tiera-cluster-XXXXXX.json)"
 CLUSTER_CHAOS_OUT="$(mktemp -t tiera-cluster-chaos-XXXXXX.json)"
-trap 'rm -f "$CHAOS_OUT" "$META_OUT" "$CLUSTER_OUT" "$CLUSTER_CHAOS_OUT"' EXIT
+trap 'rm -f "$CHAOS_OUT" "$META_OUT" "$TCO_OUT" "$CLUSTER_OUT" "$CLUSTER_CHAOS_OUT"' EXIT
 ./target/release/tiera-bench cluster --quick --out "$CLUSTER_OUT"
 ./target/release/tiera-bench check "$CLUSTER_OUT"
 
